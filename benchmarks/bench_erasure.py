@@ -1,0 +1,48 @@
+"""E9 -- Erasure-coding substrate microbenchmark.
+
+Reed-Solomon encode and decode throughput for the ``[n, k]`` parameters used
+throughout the experiments.  This is the sanity baseline for E3: the paper's
+deployment uses a C erasure-coding library (liberasurecode), so absolute
+throughput differs, but the relative cost of growing ``n`` at fixed rate
+``k/n`` is the same shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.common.values import Value
+from repro.erasure.rs import ReedSolomonCode
+
+PAYLOAD = 1 << 16  # 64 KiB
+PARAMETERS = [(3, 2), (6, 4), (9, 6), (12, 8)]
+
+
+def encode_decode_once(n: int, k: int, size: int = PAYLOAD):
+    code = ReedSolomonCode(n, k)
+    value = Value.of_size(size, label="bench")
+    elements = code.encode(value)
+    decoded = code.decode(elements[n - k:])
+    assert decoded.size == size
+    return elements
+
+
+@pytest.mark.experiment("E9")
+@pytest.mark.parametrize("n,k", PARAMETERS, ids=[f"rs-{n}-{k}" for n, k in PARAMETERS])
+def test_reed_solomon_encode_decode(benchmark, n, k):
+    benchmark(lambda: encode_decode_once(n, k))
+
+
+@pytest.mark.experiment("E9")
+def test_fragment_size_table(benchmark):
+    table = Table(
+        "E9: fragment size and storage blow-up per [n, k] (64 KiB object)",
+        ["n", "k", "fragment bytes", "total stored bytes", "blow-up n/k"],
+    )
+    for n, k in PARAMETERS:
+        code = ReedSolomonCode(n, k)
+        fragment = code.fragment_size(PAYLOAD)
+        table.add_row(n, k, fragment, fragment * n, n / k)
+    table.print()
+    benchmark(lambda: ReedSolomonCode(6, 4).encode(Value.of_size(PAYLOAD)))

@@ -1,0 +1,47 @@
+"""E5 -- Reconfiguration pipeline latency (Lemma 57 / Fig. 2).
+
+Installs ``k`` configurations back-to-back and compares the total elapsed
+simulated time with the analytic lower bound
+``4d·Σ_{i=1..k} i + k(T(CN) + 2d)``.  The sweep varies both ``k`` and the
+consensus delay ``T(CN)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.latency import reconfig_pipeline_lower_bound
+from repro.analysis.report import Table
+from repro.core.deployment import AresDeployment, DeploymentSpec
+from repro.net.latency import FixedLatency
+
+DELAY = 1.0
+
+
+def install_chain(k: int, consensus_delay: float, seed: int = 0) -> float:
+    deployment = AresDeployment(DeploymentSpec(
+        num_servers=5, initial_dap="treas", delta=2, num_writers=1, num_readers=1,
+        num_reconfigurers=1, latency=FixedLatency(DELAY), seed=seed,
+        consensus_delay=consensus_delay))
+    start = deployment.sim.now
+    for _ in range(k):
+        configuration = deployment.make_configuration(dap="treas", fresh_servers=5, k=4)
+        deployment.reconfig(configuration, 0)
+    return deployment.sim.now - start
+
+
+@pytest.mark.experiment("E5")
+def test_reconfiguration_pipeline_latency(benchmark):
+    table = Table(
+        f"E5: time to install k back-to-back configurations (d=D={DELAY})",
+        ["k", "T(CN)", "measured", "lower bound 4d*sum(i)+k(T(CN)+2d)"],
+    )
+    for consensus_delay in (0.0, 5.0, 20.0):
+        for k in (1, 2, 4, 6):
+            measured = install_chain(k, consensus_delay)
+            bound = reconfig_pipeline_lower_bound(DELAY, consensus_delay, k)
+            table.add_row(k, consensus_delay, measured, bound)
+            assert measured >= bound
+    table.print()
+
+    benchmark(lambda: install_chain(2, 5.0))

@@ -1,0 +1,72 @@
+"""E6 -- Read/write latency while reconfigurations are in flight (Lemmas 59-60).
+
+The worst case of the latency analysis: reconfiguration traffic enjoys the
+minimum delay ``d`` while client traffic suffers the maximum delay ``D``
+(the asymmetric latency construction of Section 4.4).  The bench sweeps the
+number of concurrent reconfigurations and reports the client operation
+latencies, the number of configurations each operation had to traverse, and
+the Lemma 59 envelope ``6D(ν − µ + 2)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.latency import min_delay_for_termination, rw_operation_upper_bound
+from repro.analysis.report import Table
+from repro.common.ids import Role
+from repro.core.deployment import AresDeployment, DeploymentSpec
+from repro.net.latency import AsymmetricLatency, FixedLatency
+
+FAST = 0.25   # d for reconfiguration traffic
+SLOW = 2.0    # D for client traffic
+
+
+def run_with_reconfig_storm(num_reconfigs: int, seed: int = 0):
+    latency = AsymmetricLatency(
+        default=FixedLatency(SLOW),
+        overrides={(Role.RECONFIGURER, None): FixedLatency(FAST),
+                   (None, Role.RECONFIGURER): FixedLatency(FAST)},
+    )
+    deployment = AresDeployment(DeploymentSpec(
+        num_servers=5, initial_dap="treas", delta=8, num_writers=1, num_readers=1,
+        num_reconfigurers=1, latency=latency, seed=seed))
+    reconfigurer = deployment.reconfigurers[0]
+
+    def storm():
+        for _ in range(num_reconfigs):
+            configuration = deployment.make_configuration(dap="treas", fresh_servers=5, k=4)
+            yield from reconfigurer.reconfig(configuration)
+        return None
+
+    ops = [deployment.spawn_write(deployment.writers[0].next_value(256), 0),
+           deployment.spawn_read(0)]
+    if num_reconfigs:
+        reconfigurer.spawn(storm(), label="storm")
+    deployment.run()
+    assert all(op.exception() is None for op in ops)
+    write_latency = deployment.history.writes()[-1].latency
+    read_latency = deployment.history.reads()[-1].latency
+    nu_end = max(deployment.writers[0].cseq.nu, deployment.readers[0].cseq.nu)
+    return write_latency, read_latency, nu_end
+
+
+@pytest.mark.experiment("E6")
+def test_rw_latency_under_concurrent_reconfigurations(benchmark):
+    table = Table(
+        f"E6: client op latency with k concurrent reconfigurations "
+        f"(reconfig d={FAST}, client D={SLOW})",
+        ["k reconfigs", "write latency", "read latency", "configs traversed",
+         "6D(nu-mu+2) bound", "Lemma60 d threshold"],
+    )
+    for num_reconfigs in (0, 1, 2, 4):
+        write_latency, read_latency, nu_end = run_with_reconfig_storm(num_reconfigs)
+        bound = rw_operation_upper_bound(SLOW, mu_start=0, nu_end=nu_end)
+        threshold = (min_delay_for_termination(SLOW, 0.0, num_reconfigs)
+                     if num_reconfigs else 0.0)
+        table.add_row(num_reconfigs, write_latency, read_latency, nu_end, bound, threshold)
+        assert write_latency <= bound
+        assert read_latency <= bound
+    table.print()
+
+    benchmark(lambda: run_with_reconfig_storm(1))

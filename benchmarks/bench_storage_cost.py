@@ -1,0 +1,53 @@
+"""E1 -- Storage cost (Theorem 3(i) / Lemma 38).
+
+Reproduces the storage-cost comparison between TREAS (``(δ+1)·n/k``) and
+replication/ABD (``n``): for a sweep of ``n`` (with ``k = ⌈2n/3⌉``) and δ,
+the bench saturates a register with writes, measures the object bytes stored
+across all servers, normalises by the value size and prints the measured
+figure next to the analytic one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.costs import abd_storage_cost, treas_storage_cost
+from repro.analysis.report import Table
+from repro.common.values import Value
+from repro.registers.static import StaticRegisterDeployment
+
+VALUE_SIZE = 2048
+
+
+def measured_treas_storage(n: int, k: int, delta: int, value_size: int = VALUE_SIZE) -> float:
+    """Write enough distinct values to fill the List, return storage in value units."""
+    deployment = StaticRegisterDeployment.treas(num_servers=n, k=k, delta=delta,
+                                                num_writers=1, num_readers=1)
+    for index in range(delta + 3):
+        deployment.write(Value.of_size(value_size, label=f"w{index}"), 0)
+    return deployment.total_storage_data_bytes() / value_size
+
+
+def measured_abd_storage(n: int, value_size: int = VALUE_SIZE) -> float:
+    deployment = StaticRegisterDeployment.abd(num_servers=n, num_writers=1, num_readers=1)
+    for index in range(3):
+        deployment.write(Value.of_size(value_size, label=f"w{index}"), 0)
+    return deployment.total_storage_data_bytes() / value_size
+
+
+@pytest.mark.experiment("E1")
+def test_storage_cost_table(benchmark):
+    table = Table(
+        "E1: total storage cost (units of value size), TREAS [n, k=ceil(2n/3)] vs ABD",
+        ["n", "k", "delta", "treas measured", "treas formula", "abd measured", "abd formula"],
+    )
+    for n in (3, 6, 9, 12):
+        k = -(-2 * n // 3)
+        for delta in (0, 2, 4):
+            measured = measured_treas_storage(n, k, delta)
+            abd_measured = measured_abd_storage(n) if delta == 0 else abd_storage_cost(n)
+            table.add_row(n, k, delta, measured, treas_storage_cost(n, k, delta),
+                          abd_measured, abd_storage_cost(n))
+    table.print()
+
+    benchmark(lambda: measured_treas_storage(6, 4, 2))

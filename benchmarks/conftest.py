@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment from DESIGN.md's
+per-experiment index (E1-E9): it prints the paper-style table/series it
+reproduces and registers one representative configuration with
+pytest-benchmark so wall-clock regressions are tracked too.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "experiment(id): paper experiment id (E1-E9)")

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: an ARES reconfigurable atomic register in a few lines.
+
+Builds an ARES deployment on the simulated network (TREAS-backed, 5 servers),
+writes and reads a value, migrates the service to a brand-new set of servers
+with one ``reconfig`` call, and shows that the data survived the migration
+and that the recorded history is atomic.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import AresDeployment, DeploymentSpec, Value
+from repro.net.latency import UniformLatency
+from repro.spec.linearizability import check_linearizability
+
+
+def main() -> None:
+    deployment = AresDeployment(DeploymentSpec(
+        num_servers=5,            # initial server pool
+        initial_dap="treas",      # erasure-coded configuration ([5, 4] by default)
+        delta=4,                  # tolerate up to 4 writes concurrent with a read
+        num_writers=1,
+        num_readers=1,
+        num_reconfigurers=1,
+        latency=UniformLatency(1.0, 2.0),
+        seed=7,
+    ))
+    print("Initial configuration:", deployment.initial_configuration.describe())
+
+    # 1. Write and read through the atomic register.
+    deployment.write(Value.from_text("hello, reconfigurable world", label="greeting"))
+    value = deployment.read()
+    print("Read back:", value.as_text())
+
+    # 2. Migrate the service to six brand-new servers with a stronger code.
+    new_configuration = deployment.make_configuration(dap="treas", fresh_servers=6, k=4)
+    installed = deployment.reconfig(new_configuration)
+    print("Installed configuration:", installed.describe())
+
+    # 3. The object survived the migration; clients keep operating.
+    print("Read after reconfiguration:", deployment.read().as_text())
+    deployment.write(Value.from_text("updated after migration", label="update"))
+    print("Read after new write:     ", deployment.read().as_text())
+
+    # 4. The recorded history is atomic (linearizable).
+    result = check_linearizability(deployment.history)
+    print("History linearizable:", result.ok)
+    print("Simulated time elapsed:", round(deployment.sim.now, 2), "time units")
+    print("Total messages:", deployment.network.messages_delivered)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Analytic formulas and measured-cost extraction.
+
+* :mod:`repro.analysis.costs`   -- the storage/communication cost formulas of
+  Theorem 3 (TREAS) and their ABD counterparts, plus helpers measuring the
+  same quantities on a live deployment.
+* :mod:`repro.analysis.latency` -- the latency bounds of Section 4.4
+  (Lemmas 55-60).
+* :mod:`repro.analysis.report`  -- small plain-text table renderer used by the
+  benchmark harness to print paper-style tables.
+"""
+
+from repro.analysis.costs import (
+    treas_storage_cost,
+    treas_write_cost,
+    treas_read_cost,
+    abd_storage_cost,
+    abd_write_cost,
+    abd_read_cost,
+    measure_operation_traffic,
+)
+from repro.analysis.latency import (
+    read_config_bounds,
+    rw_operation_upper_bound,
+    reconfig_pipeline_lower_bound,
+    min_delay_for_termination,
+)
+from repro.analysis.report import Table
+
+__all__ = [
+    "treas_storage_cost",
+    "treas_write_cost",
+    "treas_read_cost",
+    "abd_storage_cost",
+    "abd_write_cost",
+    "abd_read_cost",
+    "measure_operation_traffic",
+    "read_config_bounds",
+    "rw_operation_upper_bound",
+    "reconfig_pipeline_lower_bound",
+    "min_delay_for_termination",
+    "Table",
+]

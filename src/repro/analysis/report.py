@@ -1,0 +1,54 @@
+"""Minimal plain-text table rendering for the benchmark harness.
+
+The benchmark modules print the rows/series the paper's evaluation would
+report; keeping the renderer here (instead of depending on an external
+tabulation package) keeps the repository self-contained and offline-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+class Table:
+    """A fixed-column plain-text table."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    @staticmethod
+    def _format(cell: Cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append a row; the number of cells must match the number of columns."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has {len(self.columns)} columns"
+            )
+        self.rows.append([self._format(cell) for cell in cells])
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * widths[i] for i in range(len(self.columns))))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table (benchmarks call this to emit their series)."""
+        print()
+        print(self.render())

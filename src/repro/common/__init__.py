@@ -1,0 +1,36 @@
+"""Common value types shared by every subsystem.
+
+The module hosts the small, immutable data types the paper's pseudocode is
+written in terms of: logical tags ``(z, w)``, tag-value pairs, opaque values
+with an explicit size (used for cost accounting), and process/configuration
+identifiers.
+"""
+
+from repro.common.tags import Tag, TagValue, BOTTOM_TAG
+from repro.common.values import Value, BOTTOM_VALUE
+from repro.common.ids import ProcessId, ConfigId, Role
+from repro.common.errors import (
+    ReproError,
+    QuorumUnavailableError,
+    DecodeError,
+    ConfigurationError,
+    OperationAborted,
+    SimulationError,
+)
+
+__all__ = [
+    "Tag",
+    "TagValue",
+    "BOTTOM_TAG",
+    "Value",
+    "BOTTOM_VALUE",
+    "ProcessId",
+    "ConfigId",
+    "Role",
+    "ReproError",
+    "QuorumUnavailableError",
+    "DecodeError",
+    "ConfigurationError",
+    "OperationAborted",
+    "SimulationError",
+]

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ARES reproduction.
+
+Every exception raised by library code derives from :class:`ReproError` so
+that callers can catch failures of the storage service without accidentally
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that has
+    already been closed, or resuming a coroutine that has terminated.
+    """
+
+
+class QuorumUnavailableError(ReproError):
+    """Not enough live servers remain to assemble the required quorum.
+
+    Raised by client-side protocol actions when the set of non-crashed
+    servers in a configuration can no longer satisfy the quorum the action is
+    waiting for.  The paper assumes at most ``f <= (n - k) / 2`` crash
+    failures per configuration; this error signals that the assumption has
+    been violated for the configuration at hand.
+    """
+
+
+class DecodeError(ReproError):
+    """An erasure-coded value could not be reconstructed.
+
+    Raised by :mod:`repro.erasure` when fewer than ``k`` distinct coded
+    elements are supplied, or when the supplied fragments are inconsistent
+    (for instance, fragments of different lengths).
+    """
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is malformed or used inconsistently.
+
+    Examples: an ``[n, k]`` code whose ``n`` differs from the number of
+    servers in the configuration, a quorum system whose quorums are not
+    subsets of the server set, or an attempt to install a configuration with
+    an identifier that is already in use.
+    """
+
+
+class OperationAborted(ReproError):
+    """A client operation was aborted before completion.
+
+    This is raised into a protocol coroutine when the owning client process
+    crashes while the operation is still pending, so that in-flight state is
+    unwound instead of silently lingering.
+    """
+
+
+class ConsensusError(ReproError):
+    """A consensus instance failed to reach a decision.
+
+    Single-decree Paxos as implemented here always terminates in the
+    simulator's failure model (a quorum of acceptors stays alive); this error
+    guards against misuse, such as proposing ``None`` or reusing a proposer
+    object after its instance decided.
+    """

@@ -1,0 +1,123 @@
+"""Process and configuration identifiers.
+
+The paper distinguishes four kinds of processes -- writers ``W``, readers
+``R``, reconfiguration clients ``G`` and servers ``S`` -- and a countable set
+``C`` of configuration identifiers.  Identifiers are small immutable objects
+that are totally ordered so they can be embedded in tags and used as
+dictionary keys throughout the protocol stack.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Role(enum.Enum):
+    """The role a process plays in the emulation."""
+
+    WRITER = "writer"
+    READER = "reader"
+    RECONFIGURER = "reconfigurer"
+    SERVER = "server"
+    AUXILIARY = "auxiliary"
+
+    def is_client(self) -> bool:
+        """Return ``True`` for processes in ``I = W ∪ R ∪ G``."""
+        return self in (Role.WRITER, Role.READER, Role.RECONFIGURER)
+
+
+@dataclass(frozen=True, order=True)
+class ProcessId:
+    """Globally unique identifier of a process.
+
+    Ordering is (role-name, index) which gives writers a deterministic total
+    order; the writer order is what breaks ties between equal integer parts
+    of tags (Section 2, "Tags").
+
+    Attributes
+    ----------
+    role:
+        The :class:`Role` the process plays.
+    index:
+        A small integer distinguishing processes of the same role.
+    """
+
+    sort_key: tuple = field(init=False, repr=False, compare=True)
+    role: Role = field(compare=False)
+    index: int = field(compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sort_key", (self.role.value, self.index))
+
+    @property
+    def name(self) -> str:
+        """Short human-readable name, e.g. ``writer-0`` or ``server-3``."""
+        return f"{self.role.value}-{self.index}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash((self.role, self.index))
+
+
+def writer_id(index: int) -> ProcessId:
+    """Return the :class:`ProcessId` of writer ``index``."""
+    return ProcessId(role=Role.WRITER, index=index)
+
+
+def reader_id(index: int) -> ProcessId:
+    """Return the :class:`ProcessId` of reader ``index``."""
+    return ProcessId(role=Role.READER, index=index)
+
+
+def reconfigurer_id(index: int) -> ProcessId:
+    """Return the :class:`ProcessId` of reconfiguration client ``index``."""
+    return ProcessId(role=Role.RECONFIGURER, index=index)
+
+
+def server_id(index: int) -> ProcessId:
+    """Return the :class:`ProcessId` of server ``index``."""
+    return ProcessId(role=Role.SERVER, index=index)
+
+
+@dataclass(frozen=True, order=True)
+class ConfigId:
+    """Unique identifier of a configuration (an element of the set ``C``).
+
+    Configuration identifiers need only be unique and hashable; a total order
+    is provided for determinism of data structures, it carries no protocol
+    meaning.
+    """
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def config_id(index: int) -> ConfigId:
+    """Return a conventional configuration identifier ``c<index>``."""
+    return ConfigId(name=f"c{index}")
+
+
+def parse_any_id(value: Any) -> Any:
+    """Best-effort normalisation used by diagnostic tooling.
+
+    Accepts an existing :class:`ProcessId`/:class:`ConfigId` (returned as-is)
+    or a string of the form ``"writer-3"`` / ``"c2"`` and converts it to the
+    appropriate identifier object.  Raises :class:`ValueError` for anything
+    else.
+    """
+    if isinstance(value, (ProcessId, ConfigId)):
+        return value
+    if isinstance(value, str):
+        if value.startswith("c") and value[1:].isdigit():
+            return ConfigId(name=value)
+        for role in Role:
+            prefix = role.value + "-"
+            if value.startswith(prefix) and value[len(prefix):].isdigit():
+                return ProcessId(role=role, index=int(value[len(prefix):]))
+    raise ValueError(f"cannot interpret {value!r} as a process or configuration id")

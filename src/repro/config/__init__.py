@@ -1,0 +1,23 @@
+"""Configurations, quorum systems and configuration sequences.
+
+A *configuration* (Section 2) identifies a set of servers, a quorum system
+over them, the atomic-memory algorithm (DAP implementation) and erasure code
+used within them, and names the consensus instance used to agree on its
+successor.  ARES maintains a *configuration sequence*: an array of
+``<cfg, status>`` pairs where ``status ∈ {P, F}``.
+"""
+
+from repro.config.quorums import QuorumSystem, MajorityQuorums, ThresholdQuorums
+from repro.config.configuration import Configuration, DapKind
+from repro.config.sequence import ConfigRecord, ConfigSequence, Status
+
+__all__ = [
+    "QuorumSystem",
+    "MajorityQuorums",
+    "ThresholdQuorums",
+    "Configuration",
+    "DapKind",
+    "ConfigRecord",
+    "ConfigSequence",
+    "Status",
+]

@@ -1,0 +1,165 @@
+"""Configuration sequences (the local view ``cseq`` of the global list GL).
+
+Every client process keeps a local approximation of the global configuration
+sequence: an array of ``<cfg, status>`` pairs where ``status`` is ``P``
+(pending) or ``F`` (finalized).  The key quantities used by the protocol and
+by its analysis are:
+
+* ``µ(cseq)`` -- the index of the *last finalized* configuration;
+* ``ν(cseq)`` -- the index of the *last* (non-⊥) configuration.
+
+The sequence operations here mirror the paper's notation and additionally
+provide the prefix checks used by the tests for Lemmas 13-16 (Configuration
+Uniqueness / Prefix / Progress).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.config.configuration import Configuration
+
+
+class Status(enum.Enum):
+    """Configuration status within a sequence."""
+
+    PENDING = "P"
+    FINALIZED = "F"
+
+
+@dataclass(frozen=True)
+class ConfigRecord:
+    """One ``<cfg, status>`` entry of a configuration sequence."""
+
+    config: Configuration
+    status: Status
+
+    def finalized(self) -> "ConfigRecord":
+        """The same entry with status ``F``."""
+        return ConfigRecord(config=self.config, status=Status.FINALIZED)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.config.cfg_id}, {self.status.value}>"
+
+
+class ConfigSequence:
+    """A growable sequence of :class:`ConfigRecord` entries.
+
+    Index 0 always holds the initial configuration ``c0`` with status ``F``.
+    """
+
+    def __init__(self, initial: Configuration) -> None:
+        self._entries: List[ConfigRecord] = [ConfigRecord(initial, Status.FINALIZED)]
+
+    # ------------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ConfigRecord]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> ConfigRecord:
+        return self._entries[index]
+
+    def entries(self) -> List[ConfigRecord]:
+        """A copy of the underlying list (records are immutable)."""
+        return list(self._entries)
+
+    @property
+    def nu(self) -> int:
+        """``ν``: index of the last configuration in the sequence."""
+        return len(self._entries) - 1
+
+    @property
+    def mu(self) -> int:
+        """``µ``: index of the last configuration whose status is ``F``."""
+        for index in range(len(self._entries) - 1, -1, -1):
+            if self._entries[index].status is Status.FINALIZED:
+                return index
+        raise ConfigurationError("configuration sequence has no finalized entry")
+
+    @property
+    def last(self) -> ConfigRecord:
+        """The record at index ``ν``."""
+        return self._entries[-1]
+
+    def config_at(self, index: int) -> Configuration:
+        """The configuration object at ``index``."""
+        return self._entries[index].config
+
+    def last_finalized(self) -> Configuration:
+        """The configuration at index ``µ``."""
+        return self._entries[self.mu].config
+
+    def pending_suffix(self) -> List[ConfigRecord]:
+        """Records from index ``µ`` to ``ν`` inclusive (those an operation must visit)."""
+        return self._entries[self.mu:]
+
+    # -------------------------------------------------------------- mutation
+    def append(self, record: ConfigRecord) -> int:
+        """Append a record; returns its index.
+
+        Appending a configuration whose identifier already appears in the
+        sequence is rejected: the paper assumes each configuration is
+        installed at most once (Section 4.1).
+        """
+        if any(entry.config.cfg_id == record.config.cfg_id for entry in self._entries):
+            raise ConfigurationError(
+                f"configuration {record.config.cfg_id} already present in the sequence"
+            )
+        self._entries.append(record)
+        return len(self._entries) - 1
+
+    def set_record(self, index: int, record: ConfigRecord) -> None:
+        """Install ``record`` at ``index`` (extending the sequence by one if needed).
+
+        Used by the sequence-traversal code when it learns entry ``index``
+        from a server.  Installing a *different* configuration at an existing
+        index violates Configuration Uniqueness (Lemma 13) and raises.
+        """
+        if index < len(self._entries):
+            existing = self._entries[index]
+            if existing.config.cfg_id != record.config.cfg_id:
+                raise ConfigurationError(
+                    f"configuration uniqueness violated at index {index}: "
+                    f"{existing.config.cfg_id} vs {record.config.cfg_id}"
+                )
+            # Never downgrade F to P.
+            if existing.status is Status.FINALIZED:
+                return
+            self._entries[index] = record
+        elif index == len(self._entries):
+            self.append(record)
+        else:
+            raise ConfigurationError(
+                f"cannot install index {index} in a sequence of length {len(self._entries)}"
+            )
+
+    def finalize(self, index: int) -> None:
+        """Mark the record at ``index`` as finalized."""
+        self._entries[index] = self._entries[index].finalized()
+
+    # ----------------------------------------------------------- comparisons
+    def is_prefix_of(self, other: "ConfigSequence") -> bool:
+        """Prefix order ``x ⪯_p y`` on the configuration members (Definition 12)."""
+        if len(self) > len(other):
+            return False
+        return all(
+            self[i].config.cfg_id == other[i].config.cfg_id for i in range(len(self))
+        )
+
+    def copy(self) -> "ConfigSequence":
+        """An independent copy (records are shared; they are immutable)."""
+        clone = ConfigSequence(self._entries[0].config)
+        clone._entries = list(self._entries)
+        return clone
+
+    def describe(self) -> str:
+        """Compact rendering like ``[<c0,F>, <c1,P>]``."""
+        return "[" + ", ".join(str(entry) for entry in self._entries) + "]"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

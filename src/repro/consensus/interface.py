@@ -1,0 +1,27 @@
+"""Consensus-facing types shared by proposers and the ARES reconfigurer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ConsensusDecision:
+    """The outcome of a consensus instance.
+
+    Attributes
+    ----------
+    value:
+        The decided value (for ARES, a proposed :class:`~repro.config.configuration.Configuration`).
+    instance:
+        The identifier of the instance (the configuration id whose successor
+        was being decided).
+    ballot_round:
+        The Paxos ballot round at which the decision was reached; recorded
+        for diagnostics and the reconfiguration-latency benchmarks.
+    """
+
+    value: Any
+    instance: Any
+    ballot_round: int = 0

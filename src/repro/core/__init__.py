@@ -1,0 +1,35 @@
+"""ARES: the reconfigurable atomic storage service.
+
+This package contains the paper's main contribution:
+
+* :mod:`repro.core.directory` -- the configuration directory mapping
+  configuration identifiers to their full descriptions.
+* :mod:`repro.core.server`    -- the ARES server protocol (``nextC`` handling,
+  per-configuration DAP state, Paxos acceptors).
+* :mod:`repro.core.traversal` -- the sequence-traversal actions
+  ``read-next-config`` / ``put-config`` / ``read-config`` (Algorithm 4).
+* :mod:`repro.core.reconfig`  -- the reconfiguration client (Algorithm 5).
+* :mod:`repro.core.client`    -- ARES readers and writers (Algorithm 7).
+* :mod:`repro.core.ares_treas` -- the optimised direct server-to-server state
+  transfer of Section 5 (Algorithms 8 and 9).
+* :mod:`repro.core.deployment` -- builds complete ARES systems for tests,
+  examples and benchmarks.
+"""
+
+from repro.core.directory import ConfigurationDirectory
+from repro.core.server import AresServer
+from repro.core.client import AresClient
+from repro.core.reconfig import AresReconfigurer
+from repro.core.ares_treas import TreasTransferServerState, DirectTransferReconfigurer
+from repro.core.deployment import AresDeployment, DeploymentSpec
+
+__all__ = [
+    "ConfigurationDirectory",
+    "AresServer",
+    "AresClient",
+    "AresReconfigurer",
+    "TreasTransferServerState",
+    "DirectTransferReconfigurer",
+    "AresDeployment",
+    "DeploymentSpec",
+]

@@ -1,0 +1,130 @@
+"""ARES readers and writers (Algorithm 7).
+
+A write (read) operation:
+
+1. runs ``read-config`` to refresh the client's local configuration
+   sequence;
+2. invokes ``get-tag`` (``get-data``) on every configuration from the last
+   finalized index ``µ`` to the end of the sequence ``ν`` and keeps the
+   maximum tag (tag-value pair);
+3. for a write, increments the tag and pairs it with the new value; for a
+   read, keeps the discovered pair;
+4. repeatedly ``put-data``s the pair into the *last* configuration of the
+   local sequence and re-runs ``read-config`` until no new configuration
+   appears -- this is the "catch up with ongoing reconfigurations" loop whose
+   termination the latency analysis (Section 4.4) studies.
+
+The client records every high-level operation in a
+:class:`~repro.spec.history.History` so atomicity can be checked and the
+latency benchmarks can measure operation intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.ids import ConfigId, ProcessId
+from repro.common.tags import BOTTOM_TAG, TagValue
+from repro.common.values import BOTTOM_VALUE, Value
+from repro.config.configuration import Configuration
+from repro.config.sequence import ConfigSequence
+from repro.core.directory import ConfigurationDirectory
+from repro.core.traversal import SequenceTraversalMixin
+from repro.dap import make_dap_client
+from repro.dap.interface import DapClient
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.spec.history import History, OperationType
+from repro.spec.properties import DapRecorder
+
+
+class AresClient(Process, SequenceTraversalMixin):
+    """A reader or writer client of the ARES service."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        network: Network,
+        directory: ConfigurationDirectory,
+        initial_configuration: Configuration,
+        history: Optional[History] = None,
+        dap_recorder: Optional[DapRecorder] = None,
+    ) -> None:
+        super().__init__(pid, network)
+        self.directory = directory
+        self.history = history
+        self.dap_recorder = dap_recorder
+        directory.register(initial_configuration)
+        #: The client's local configuration sequence ``cseq`` (Algorithm 7 state).
+        self.cseq = ConfigSequence(initial_configuration)
+        self._dap_clients: Dict[ConfigId, DapClient] = {}
+        self._write_counter = 0
+
+    # --------------------------------------------------------------- plumbing
+    def dap_for(self, configuration: Configuration) -> DapClient:
+        """The (cached) DAP client for ``configuration``."""
+        client = self._dap_clients.get(configuration.cfg_id)
+        if client is None:
+            client = make_dap_client(self, configuration)
+            self._dap_clients[configuration.cfg_id] = client
+        return client
+
+    def next_value(self, size: int) -> Value:
+        """A fresh uniquely-labelled value for workload generation."""
+        self._write_counter += 1
+        return Value.of_size(size, label=f"{self.pid.name}:{self._write_counter}")
+
+    # ------------------------------------------------------------------ write
+    def write(self, value: Value):
+        """Coroutine implementing the ARES write operation."""
+        record = None
+        if self.history is not None:
+            record = self.history.invoke(self.pid, OperationType.WRITE, self.now,
+                                         value_label=value.label)
+        yield from self.read_config(self.cseq)
+        mu = self.cseq.mu
+        nu = self.cseq.nu
+        tag_max = BOTTOM_TAG
+        for index in range(mu, nu + 1):
+            configuration = self.cseq.config_at(index)
+            tag = yield from self.dap_for(configuration).get_tag()
+            if tag > tag_max:
+                tag_max = tag
+        new_pair = TagValue(tag=tag_max.increment(self.pid), value=value)
+        yield from self._propagate(new_pair)
+        if record is not None:
+            self.history.respond(record, self.now, tag=new_pair.tag)
+        return new_pair.tag
+
+    # ------------------------------------------------------------------- read
+    def read(self):
+        """Coroutine implementing the ARES read operation; returns the value."""
+        record = None
+        if self.history is not None:
+            record = self.history.invoke(self.pid, OperationType.READ, self.now)
+        yield from self.read_config(self.cseq)
+        mu = self.cseq.mu
+        nu = self.cseq.nu
+        best = TagValue(tag=BOTTOM_TAG, value=BOTTOM_VALUE)
+        for index in range(mu, nu + 1):
+            configuration = self.cseq.config_at(index)
+            pair = yield from self.dap_for(configuration).get_data()
+            if pair.tag > best.tag:
+                best = pair
+        yield from self._propagate(best)
+        if record is not None:
+            self.history.respond(record, self.now, value_label=best.value.label,
+                                 tag=best.tag)
+        return best.value
+
+    # ---------------------------------------------------------- propagation
+    def _propagate(self, pair: TagValue):
+        """Algorithm 7 lines 15-21 / 37-43: put-data until the sequence stops growing."""
+        nu = self.cseq.nu
+        while True:
+            configuration = self.cseq.config_at(nu)
+            yield from self.dap_for(configuration).put_data(pair)
+            yield from self.read_config(self.cseq)
+            if self.cseq.nu == nu:
+                return
+            nu = self.cseq.nu

@@ -1,0 +1,68 @@
+"""The configuration directory.
+
+A configuration *identifier* "describes explicitly the set of servers, the
+quorums, the algorithm and the consensus instance" of the configuration
+(Section 2).  In a real deployment that description is distributed with the
+identifier (e.g. through a deployment catalogue); in the simulation the
+:class:`ConfigurationDirectory` plays that role: a shared, append-only map
+from :class:`~repro.common.ids.ConfigId` to
+:class:`~repro.config.configuration.Configuration`.
+
+The directory carries *no protocol state* -- in particular it says nothing
+about which configurations have been installed in the global sequence, which
+is decided purely by the ARES protocol -- it only resolves identifiers to
+descriptions, so passing it to every process does not weaken the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import ConfigId
+from repro.config.configuration import Configuration
+
+
+class ConfigurationDirectory:
+    """Append-only registry of configuration descriptions."""
+
+    def __init__(self) -> None:
+        self._configurations: Dict[ConfigId, Configuration] = {}
+
+    def register(self, configuration: Configuration) -> Configuration:
+        """Register a configuration description.
+
+        Re-registering the same object is a no-op; registering a *different*
+        description under an existing identifier is an error (identifiers are
+        unique).
+        """
+        existing = self._configurations.get(configuration.cfg_id)
+        if existing is not None:
+            if existing is not configuration:
+                raise ConfigurationError(
+                    f"configuration id {configuration.cfg_id} registered twice "
+                    "with different descriptions"
+                )
+            return existing
+        self._configurations[configuration.cfg_id] = configuration
+        return configuration
+
+    def get(self, cfg_id: ConfigId) -> Configuration:
+        """Resolve an identifier; raises if unknown."""
+        try:
+            return self._configurations[cfg_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown configuration id {cfg_id}") from None
+
+    def maybe_get(self, cfg_id: ConfigId) -> Optional[Configuration]:
+        """Resolve an identifier, returning ``None`` if unknown."""
+        return self._configurations.get(cfg_id)
+
+    def __contains__(self, cfg_id: ConfigId) -> bool:
+        return cfg_id in self._configurations
+
+    def __len__(self) -> int:
+        return len(self._configurations)
+
+    def __iter__(self) -> Iterator[Configuration]:
+        return iter(self._configurations.values())

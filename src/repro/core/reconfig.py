@@ -1,0 +1,164 @@
+"""The ARES reconfiguration client (Algorithm 5).
+
+A ``reconfig(c)`` operation consists of four consecutively executed phases:
+
+``read-config``
+    Refresh the local configuration sequence (Algorithm 4).
+``add-config``
+    Propose ``c`` to the consensus instance of the *last* configuration in
+    the sequence; whatever configuration ``d`` the instance decides is
+    appended with status ``P`` and propagated to the previous configuration's
+    servers with ``put-config`` (if ``d ≠ c`` the reconfigurer adopts ``d``
+    and its own proposal is simply dropped -- at most one configuration is
+    installed per index).
+``update-config``
+    Transfer the object state: gather the maximum tag-value pair from every
+    configuration between the last finalized index ``µ`` and the new index
+    ``ν`` with ``get-data`` and ``put-data`` it into the new configuration.
+    (The optimised direct server-to-server transfer of Section 5 overrides
+    exactly this phase; see :mod:`repro.core.ares_treas`.)
+``finalize-config``
+    Mark the new configuration ``F`` and propagate the finalized record to a
+    quorum of the previous configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.ids import ConfigId, ProcessId
+from repro.common.tags import BOTTOM_TAG, TagValue
+from repro.common.values import BOTTOM_VALUE
+from repro.config.configuration import Configuration
+from repro.config.sequence import ConfigRecord, ConfigSequence, Status
+from repro.consensus.paxos import PaxosProposer
+from repro.core.directory import ConfigurationDirectory
+from repro.core.traversal import SequenceTraversalMixin
+from repro.dap import make_dap_client
+from repro.dap.interface import DapClient
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.spec.history import History, OperationType
+from repro.spec.properties import DapRecorder
+
+
+class AresReconfigurer(Process, SequenceTraversalMixin):
+    """A reconfiguration client.
+
+    Parameters
+    ----------
+    consensus_delay:
+        Extra latency added to every consensus decision, modelling the
+        ``T(CN)`` term of the latency analysis (the paper treats consensus as
+        an external service with its own delay).
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        network: Network,
+        directory: ConfigurationDirectory,
+        initial_configuration: Configuration,
+        history: Optional[History] = None,
+        dap_recorder: Optional[DapRecorder] = None,
+        consensus_delay: float = 0.0,
+    ) -> None:
+        super().__init__(pid, network)
+        self.directory = directory
+        self.history = history
+        self.dap_recorder = dap_recorder
+        self.consensus_delay = consensus_delay
+        directory.register(initial_configuration)
+        self.cseq = ConfigSequence(initial_configuration)
+        self._dap_clients: Dict[ConfigId, DapClient] = {}
+        #: Number of reconfig operations this client completed.
+        self.completed_reconfigs = 0
+
+    # --------------------------------------------------------------- plumbing
+    def dap_for(self, configuration: Configuration) -> DapClient:
+        """The (cached) DAP client for ``configuration``."""
+        client = self._dap_clients.get(configuration.cfg_id)
+        if client is None:
+            client = make_dap_client(self, configuration)
+            self._dap_clients[configuration.cfg_id] = client
+        return client
+
+    # ---------------------------------------------------------------- reconfig
+    def reconfig(self, proposed: Configuration):
+        """Coroutine: attempt to append ``proposed`` to the global sequence.
+
+        Returns the configuration that was actually installed (the decided
+        one, which may differ from ``proposed`` under contention).
+        """
+        record = None
+        if self.history is not None:
+            record = self.history.invoke(self.pid, OperationType.RECONFIG, self.now,
+                                         value_label=str(proposed.cfg_id))
+        self.directory.register(proposed)
+
+        # Phase 1: read-config.
+        yield from self.read_config(self.cseq)
+
+        # Phase 2: add-config.
+        installed = yield from self.add_config(proposed)
+
+        # Phase 3: update-config.
+        yield from self.update_config()
+
+        # Phase 4: finalize-config.
+        yield from self.finalize_config()
+
+        self.completed_reconfigs += 1
+        if record is not None:
+            self.history.respond(record, self.now, config_id=installed.cfg_id)
+        return installed
+
+    # ----------------------------------------------------------- add-config
+    def add_config(self, proposed: Configuration):
+        """Coroutine: decide the successor of the last configuration and append it."""
+        last = self.cseq.last.config
+        proposer = PaxosProposer(self, last, instance=last.cfg_id,
+                                 extra_decision_delay=self.consensus_delay)
+        decision = yield from proposer.propose(proposed)
+        installed: Configuration = decision.value
+        self.directory.register(installed)
+        record = ConfigRecord(installed, Status.PENDING)
+        if self.cseq.nu >= 0 and self.cseq.last.config.cfg_id == installed.cfg_id:
+            # A concurrent reconfigurer already propagated the decision and we
+            # observed it during read-config; nothing to append.
+            pass
+        else:
+            self.cseq.append(record)
+        yield from self.put_config(last, record)
+        return installed
+
+    # -------------------------------------------------------- update-config
+    def update_config(self):
+        """Coroutine: transfer the latest tag-value pair into the new configuration.
+
+        The baseline ARES transfer: the reconfigurer itself reads the value
+        (``get-data``) from every configuration in ``[µ, ν]`` and writes it
+        (``put-data``) to the last one -- i.e. object data flows through the
+        reconfiguration client.
+        """
+        mu = self.cseq.mu
+        nu = self.cseq.nu
+        best = TagValue(tag=BOTTOM_TAG, value=BOTTOM_VALUE)
+        for index in range(mu, nu + 1):
+            configuration = self.cseq.config_at(index)
+            pair = yield from self.dap_for(configuration).get_data()
+            if pair.tag > best.tag:
+                best = pair
+        target = self.cseq.config_at(nu)
+        yield from self.dap_for(target).put_data(best)
+        return best
+
+    # ------------------------------------------------------ finalize-config
+    def finalize_config(self):
+        """Coroutine: mark the last configuration finalized and propagate the record."""
+        nu = self.cseq.nu
+        self.cseq.finalize(nu)
+        finalized = self.cseq[nu]
+        previous = self.cseq.config_at(nu - 1) if nu > 0 else self.cseq.config_at(0)
+        yield from self.put_config(previous, finalized)
+        return finalized

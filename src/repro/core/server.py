@@ -1,0 +1,150 @@
+"""The ARES server protocol (Algorithm 6, plus DAP and consensus hosting).
+
+Each ARES server keeps, for every configuration it is a member of:
+
+* ``nextC`` -- the ``<cfg, status>`` record of the configuration that follows
+  this one in the global sequence, or ``⊥``;
+* the per-configuration DAP server state (ABD tag/value pair, TREAS ``List``,
+  LDR directory/replica stores);
+* the Paxos acceptor state of the configuration's consensus instance
+  ``c.Con`` (used to decide the successor of the configuration).
+
+The ``nextC`` update rule follows Algorithm 6: a WRITE-CONFIG installs the
+incoming record if the current value is ``⊥`` or still pending; a finalized
+record is never overwritten (and by consensus Agreement the configuration
+member never changes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.ids import ConfigId, ProcessId
+from repro.config.configuration import Configuration
+from repro.config.sequence import ConfigRecord, Status
+from repro.consensus.paxos import (
+    ACCEPT,
+    DECIDED,
+    PREPARE,
+    PaxosAcceptorState,
+)
+from repro.core.directory import ConfigurationDirectory
+from repro.dap import make_dap_server_state
+from repro.dap.interface import DapServerState
+from repro.net.message import Message, reply
+from repro.net.network import Network
+from repro.sim.process import Process
+
+READ_CONFIG = "ARES-READ-CONFIG"
+WRITE_CONFIG = "ARES-WRITE-CONFIG"
+
+_PAXOS_KINDS = (PREPARE, ACCEPT, DECIDED)
+
+#: Factory signature for per-configuration DAP server state.
+DapStateFactory = Callable[[Configuration, ProcessId], DapServerState]
+
+
+class AresServer(Process):
+    """A server participating in the ARES service.
+
+    Parameters
+    ----------
+    pid, network:
+        Standard process identity and network attachment.
+    directory:
+        The configuration directory used to resolve configuration ids that
+        arrive in messages.
+    dap_state_factory:
+        Factory building the per-configuration DAP state; the deployment
+        passes :class:`~repro.core.ares_treas.TreasTransferServerState`'s
+        factory when direct state transfer (Section 5) is enabled.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        network: Network,
+        directory: ConfigurationDirectory,
+        dap_state_factory: Optional[DapStateFactory] = None,
+    ) -> None:
+        super().__init__(pid, network)
+        self.directory = directory
+        self.dap_state_factory = dap_state_factory or make_dap_server_state
+        #: nextC per configuration this server belongs to (⊥ encoded as None).
+        self.next_config: Dict[ConfigId, Optional[ConfigRecord]] = {}
+        #: DAP server state per configuration.
+        self.dap_states: Dict[ConfigId, DapServerState] = {}
+        #: Paxos acceptor state per consensus instance (keyed by the
+        #: configuration whose successor the instance decides).
+        self.acceptors: Dict[ConfigId, PaxosAcceptorState] = {}
+
+    # -------------------------------------------------------------- dispatch
+    def on_message(self, src: ProcessId, message: Message) -> None:
+        kind = message.kind
+        if kind == READ_CONFIG:
+            self._on_read_config(src, message)
+            return
+        if kind == WRITE_CONFIG:
+            self._on_write_config(src, message)
+            return
+        if kind in _PAXOS_KINDS:
+            self._on_paxos(src, message)
+            return
+        self._on_dap(src, message)
+
+    # ----------------------------------------------------- nextC (Algorithm 6)
+    def _on_read_config(self, src: ProcessId, message: Message) -> None:
+        cfg_id: ConfigId = message.config_id
+        record = self.next_config.get(cfg_id)
+        self.send(src, reply(message, kind="ARES-NEXT-CONFIG", metadata_fields=2,
+                             record=record))
+
+    def _on_write_config(self, src: ProcessId, message: Message) -> None:
+        cfg_id: ConfigId = message.config_id
+        incoming: ConfigRecord = message["record"]
+        current = self.next_config.get(cfg_id)
+        if current is None or current.status is Status.PENDING:
+            self.next_config[cfg_id] = incoming
+        self.send(src, reply(message, kind="ARES-CONFIG-ACK"))
+
+    # ---------------------------------------------------------------- Paxos
+    def _on_paxos(self, src: ProcessId, message: Message) -> None:
+        instance: ConfigId = message["instance"]
+        acceptor = self.acceptors.setdefault(instance, PaxosAcceptorState())
+        response = acceptor.handle(message)
+        if response is not None and message.kind != DECIDED:
+            self.send(src, response)
+
+    # ------------------------------------------------------------------ DAP
+    def _on_dap(self, src: ProcessId, message: Message) -> None:
+        cfg_id = message.config_id
+        if cfg_id is None:
+            return
+        state = self.dap_state_for(cfg_id)
+        if state is None or not state.handles(message.kind):
+            return
+        response = state.handle(src, message)
+        if response is not None:
+            self.send(src, response)
+
+    def dap_state_for(self, cfg_id: ConfigId) -> Optional[DapServerState]:
+        """The DAP state for ``cfg_id``, created lazily if this server is a member."""
+        state = self.dap_states.get(cfg_id)
+        if state is not None:
+            return state
+        configuration = self.directory.maybe_get(cfg_id)
+        if configuration is None or self.pid not in configuration.servers:
+            return None
+        state = self.dap_state_factory(configuration, self.pid)
+        state.bind(self)
+        self.dap_states[cfg_id] = state
+        return state
+
+    # ------------------------------------------------------------ accounting
+    def storage_data_bytes(self) -> int:
+        """Object-data bytes stored across all configurations at this server."""
+        return sum(state.storage_data_bytes() for state in self.dap_states.values())
+
+    def member_configurations(self) -> list:
+        """Configuration ids for which this server currently holds DAP state."""
+        return list(self.dap_states)

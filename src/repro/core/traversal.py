@@ -1,0 +1,102 @@
+"""Sequence traversal (Algorithm 4): ``read-next-config``, ``put-config``, ``read-config``.
+
+Every read, write and reconfig operation uses these actions to discover the
+latest state of the global configuration sequence GL and to make sure that
+state remains discoverable by later operations:
+
+* ``read-next-config(c)`` asks a quorum of ``c.Servers`` for their ``nextC``
+  variable and returns the first finalized record it sees, else a pending
+  one, else ``⊥``;
+* ``put-config(c, record)`` writes ``record`` into the ``nextC`` variable of
+  a quorum of ``c.Servers``;
+* ``read-config(seq)`` starts from the last finalized configuration of the
+  local sequence and follows ``nextC`` pointers until it reaches a
+  configuration whose quorum knows no successor, propagating every link it
+  traverses to the previous configuration on the way (which is what makes
+  the Configuration Prefix and Progress lemmas hold).
+
+The helper is written as a mixin so the ARES clients and the reconfigurer
+share one implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.configuration import Configuration
+from repro.config.sequence import ConfigRecord, ConfigSequence, Status
+from repro.net.message import request
+from repro.core.server import READ_CONFIG, WRITE_CONFIG
+
+
+class SequenceTraversalMixin:
+    """Adds the Algorithm 4 actions to a client process.
+
+    The host class must be a :class:`~repro.sim.process.Process` and must
+    have a ``directory`` attribute (the configuration directory) so that
+    configurations referenced by received records can be registered locally.
+    """
+
+    #: Number of ``read-config`` invocations performed (diagnostics/benchmarks).
+    read_config_count: int = 0
+
+    # ----------------------------------------------------- primitive actions
+    def read_next_config(self, configuration: Configuration):
+        """Coroutine: return the ``nextC`` record after ``configuration`` (or ``None``).
+
+        Awaits replies from a majority (the configuration's consensus
+        quorums) of ``configuration.servers``; prefers finalized records over
+        pending ones, mirroring Algorithm 4 lines 16-21.
+        """
+        replies = yield self.broadcast_and_gather(
+            configuration.servers,
+            lambda rid: request(READ_CONFIG, rid, config_id=configuration.cfg_id),
+            threshold=configuration.consensus_quorums.quorum_size,
+            label="read-next-config",
+        )
+        records = [msg["record"] for _, msg in replies if msg["record"] is not None]
+        if not records:
+            return None
+        for record in records:
+            if record.status is Status.FINALIZED:
+                return record
+        return records[0]
+
+    def put_config(self, configuration: Configuration, record: ConfigRecord):
+        """Coroutine: write ``record`` to the ``nextC`` of a quorum of ``configuration``."""
+        yield self.broadcast_and_gather(
+            configuration.servers,
+            lambda rid: request(WRITE_CONFIG, rid, config_id=configuration.cfg_id,
+                                metadata_fields=2, record=record),
+            threshold=configuration.consensus_quorums.quorum_size,
+            label="put-config",
+        )
+        return None
+
+    # ---------------------------------------------------------- read-config
+    def read_config(self, seq: ConfigSequence):
+        """Coroutine: traverse GL from the last finalized entry of ``seq``.
+
+        Mutates and returns ``seq``: newly discovered records are appended
+        (or upgrade the status of existing entries), and every traversed link
+        is propagated to the previous configuration with ``put-config``.
+        """
+        self.read_config_count += 1
+        index = seq.mu
+        current = seq.config_at(index)
+        while True:
+            record = yield from self.read_next_config(current)
+            if record is None:
+                break
+            self._register_record(record)
+            index += 1
+            seq.set_record(index, record)
+            yield from self.put_config(seq.config_at(index - 1), record)
+            current = record.config
+        return seq
+
+    # --------------------------------------------------------------- helpers
+    def _register_record(self, record: ConfigRecord) -> None:
+        directory = getattr(self, "directory", None)
+        if directory is not None:
+            directory.register(record.config)

@@ -1,0 +1,68 @@
+"""Data-Access Primitives (DAPs).
+
+The paper expresses every atomic register algorithm through three primitives
+defined per configuration ``c`` (Definition 1):
+
+* ``c.get-tag()``   -- returns a tag ``τ``;
+* ``c.get-data()``  -- returns a tag-value pair ``(τ, v)``;
+* ``c.put-data(⟨τ, v⟩)`` -- stores the pair.
+
+Three implementations are provided, matching the paper's Appendix A and
+Section 3:
+
+* :mod:`repro.dap.abd`   -- the multi-writer ABD algorithm (replication).
+* :mod:`repro.dap.treas` -- the TREAS two-round erasure-coded algorithm.
+* :mod:`repro.dap.ldr`   -- the LDR directory/replica algorithm.
+
+Use :func:`make_dap_client` / :func:`make_dap_server_state` to obtain the
+implementation matching a configuration's :class:`~repro.config.configuration.DapKind`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config.configuration import Configuration, DapKind
+from repro.dap.interface import DapClient, DapServerState
+from repro.dap.abd import AbdDapClient, AbdServerState
+from repro.dap.treas import TreasDapClient, TreasServerState
+from repro.dap.ldr import LdrDapClient, LdrServerState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+
+
+def make_dap_client(process: "Process", configuration: Configuration) -> DapClient:
+    """Return the DAP client implementation matching the configuration's kind."""
+    if configuration.dap is DapKind.ABD:
+        return AbdDapClient(process, configuration)
+    if configuration.dap is DapKind.TREAS:
+        return TreasDapClient(process, configuration)
+    if configuration.dap is DapKind.LDR:
+        return LdrDapClient(process, configuration)
+    raise ValueError(f"unknown DAP kind {configuration.dap}")
+
+
+def make_dap_server_state(configuration: Configuration, server_pid) -> DapServerState:
+    """Return fresh per-configuration server state for the configuration's DAP."""
+    if configuration.dap is DapKind.ABD:
+        return AbdServerState(configuration, server_pid)
+    if configuration.dap is DapKind.TREAS:
+        return TreasServerState(configuration, server_pid)
+    if configuration.dap is DapKind.LDR:
+        return LdrServerState(configuration, server_pid)
+    raise ValueError(f"unknown DAP kind {configuration.dap}")
+
+
+__all__ = [
+    "DapClient",
+    "DapServerState",
+    "AbdDapClient",
+    "AbdServerState",
+    "TreasDapClient",
+    "TreasServerState",
+    "LdrDapClient",
+    "LdrServerState",
+    "make_dap_client",
+    "make_dap_server_state",
+]

@@ -1,0 +1,134 @@
+"""Arithmetic over the Galois field GF(2^8).
+
+The field is realised as polynomials over GF(2) modulo the primitive
+polynomial ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D), the conventional choice for
+Reed-Solomon codes.  Multiplication and division use log/antilog tables of
+the generator ``α = 2``; numpy vectorised versions are provided for bulk
+encoding and decoding of byte arrays.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+#: The primitive polynomial x^8 + x^4 + x^3 + x^2 + 1.
+PRIMITIVE_POLY = 0x11D
+#: The multiplicative generator used to build the log tables.
+GENERATOR = 2
+#: Field order.
+FIELD_SIZE = 256
+
+
+def _build_tables() -> tuple:
+    """Build exponentiation and logarithm tables for GF(2^8)."""
+    exp = [0] * (2 * FIELD_SIZE)
+    log = [0] * FIELD_SIZE
+    x = 1
+    for i in range(FIELD_SIZE - 1):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    # Duplicate so that exp[log[a] + log[b]] needs no modular reduction.
+    for i in range(FIELD_SIZE - 1, 2 * FIELD_SIZE):
+        exp[i] = exp[i - (FIELD_SIZE - 1)]
+    return exp, log
+
+
+_EXP_LIST, _LOG_LIST = _build_tables()
+EXP_TABLE = np.array(_EXP_LIST, dtype=np.uint8)
+LOG_TABLE = np.array(_LOG_LIST, dtype=np.int32)
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition in GF(2^8) (XOR)."""
+    return (a ^ b) & 0xFF
+
+
+def gf_sub(a: int, b: int) -> int:
+    """Subtraction in GF(2^8) (identical to addition)."""
+    return (a ^ b) & 0xFF
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiplication in GF(2^8) via log tables."""
+    if a == 0 or b == 0:
+        return 0
+    return int(EXP_TABLE[int(LOG_TABLE[a]) + int(LOG_TABLE[b])])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Division in GF(2^8); raises ``ZeroDivisionError`` for ``b == 0``."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    if a == 0:
+        return 0
+    return int(EXP_TABLE[(int(LOG_TABLE[a]) - int(LOG_TABLE[b])) % (FIELD_SIZE - 1)])
+
+
+def gf_pow(a: int, power: int) -> int:
+    """Exponentiation ``a ** power`` in GF(2^8)."""
+    if power == 0:
+        return 1
+    if a == 0:
+        return 0
+    log_a = int(LOG_TABLE[a])
+    return int(EXP_TABLE[(log_a * power) % (FIELD_SIZE - 1)])
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse of ``a``; raises for ``a == 0``."""
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(2^8)")
+    return int(EXP_TABLE[(FIELD_SIZE - 1) - int(LOG_TABLE[a])])
+
+
+def gf_mul_bytes(scalar: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by ``scalar`` (vectorised).
+
+    Parameters
+    ----------
+    scalar:
+        A field element in ``[0, 255]``.
+    data:
+        A ``uint8`` numpy array.
+    """
+    if scalar == 0:
+        return np.zeros_like(data)
+    if scalar == 1:
+        return data.copy()
+    log_scalar = int(LOG_TABLE[scalar])
+    result = np.zeros_like(data)
+    nonzero = data != 0
+    logs = LOG_TABLE[data[nonzero].astype(np.int32)]
+    result[nonzero] = EXP_TABLE[logs + log_scalar]
+    return result
+
+
+def gf_matmul_vec(matrix: np.ndarray, shards: List[np.ndarray]) -> List[np.ndarray]:
+    """Multiply a GF(2^8) matrix by a "vector" of byte shards.
+
+    ``matrix`` has shape ``(rows, cols)``; ``shards`` is a list of ``cols``
+    equal-length ``uint8`` arrays.  Returns ``rows`` output arrays, each the
+    GF-linear combination of the shards with the matrix row as coefficients.
+    This is the workhorse of Reed-Solomon encoding and decoding.
+    """
+    rows, cols = matrix.shape
+    if cols != len(shards):
+        raise ValueError(f"matrix has {cols} columns but {len(shards)} shards were given")
+    if not shards:
+        return [np.zeros(0, dtype=np.uint8) for _ in range(rows)]
+    length = len(shards[0])
+    outputs = []
+    for r in range(rows):
+        acc = np.zeros(length, dtype=np.uint8)
+        for c in range(cols):
+            coeff = int(matrix[r, c])
+            if coeff == 0:
+                continue
+            acc ^= gf_mul_bytes(coeff, shards[c])
+        outputs.append(acc)
+    return outputs

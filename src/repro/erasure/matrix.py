@@ -1,0 +1,117 @@
+"""Matrix operations over GF(2^8).
+
+Reed-Solomon decoding reduces to inverting the submatrix of the generator
+matrix formed by the rows of the surviving coded elements.  This module
+provides that inversion (Gauss-Jordan elimination in the field), plus the
+Vandermonde construction used to build a systematic generator matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import DecodeError
+from repro.erasure.gf256 import gf_div, gf_inverse, gf_mul, gf_pow
+
+
+def identity_matrix(size: int) -> np.ndarray:
+    """The ``size x size`` identity matrix over GF(2^8)."""
+    return np.eye(size, dtype=np.uint8)
+
+
+def vandermonde_matrix(rows: int, cols: int) -> np.ndarray:
+    """The ``rows x cols`` Vandermonde matrix ``V[i, j] = (i+1)^j`` over GF(2^8).
+
+    Using evaluation points ``1, 2, ..., rows`` (all distinct and non-zero for
+    ``rows <= 255``) guarantees every ``cols x cols`` submatrix is invertible,
+    which is the MDS property.
+    """
+    if rows > 255:
+        raise ValueError("GF(2^8) Vandermonde construction supports at most 255 rows")
+    matrix = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            matrix[i, j] = gf_pow(i + 1, j)
+    return matrix
+
+
+def matrix_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Multiply two GF(2^8) matrices."""
+    rows, inner = a.shape
+    inner2, cols = b.shape
+    if inner != inner2:
+        raise ValueError(f"cannot multiply {a.shape} by {b.shape}")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            acc = 0
+            for t in range(inner):
+                acc ^= gf_mul(int(a[i, t]), int(b[t, j]))
+            out[i, j] = acc
+    return out
+
+
+def matrix_invert(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square GF(2^8) matrix by Gauss-Jordan elimination.
+
+    Raises
+    ------
+    DecodeError
+        If the matrix is singular (which for Reed-Solomon means the chosen
+        fragment subset cannot decode -- impossible for a true MDS generator,
+        so it indicates corrupted input).
+    """
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise ValueError(f"cannot invert non-square matrix of shape {matrix.shape}")
+    work = matrix.astype(np.uint8).copy()
+    inverse = identity_matrix(size)
+
+    for col in range(size):
+        # Find a pivot row with a non-zero entry in this column.
+        pivot = None
+        for row in range(col, size):
+            if work[row, col] != 0:
+                pivot = row
+                break
+        if pivot is None:
+            raise DecodeError("singular matrix: fragment subset is not decodable")
+        if pivot != col:
+            work[[col, pivot]] = work[[pivot, col]]
+            inverse[[col, pivot]] = inverse[[pivot, col]]
+        # Normalise the pivot row.
+        pivot_value = int(work[col, col])
+        if pivot_value != 1:
+            inv_pivot = gf_inverse(pivot_value)
+            for j in range(size):
+                work[col, j] = gf_mul(int(work[col, j]), inv_pivot)
+                inverse[col, j] = gf_mul(int(inverse[col, j]), inv_pivot)
+        # Eliminate the column from every other row.
+        for row in range(size):
+            if row == col or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            for j in range(size):
+                work[row, j] ^= gf_mul(factor, int(work[col, j]))
+                inverse[row, j] ^= gf_mul(factor, int(inverse[col, j]))
+    return inverse
+
+
+def systematic_generator(n: int, k: int) -> np.ndarray:
+    """Build a systematic ``n x k`` MDS generator matrix.
+
+    The first ``k`` rows are the identity (so the first ``k`` coded elements
+    are the data shards themselves) and the remaining ``n - k`` rows are
+    parity rows derived from a Vandermonde matrix.  Systematisation is done
+    by right-multiplying the full Vandermonde matrix with the inverse of its
+    top ``k x k`` block, which preserves the MDS property.
+    """
+    if k <= 0 or n < k:
+        raise ValueError(f"invalid code parameters [n={n}, k={k}]")
+    vander = vandermonde_matrix(n, k)
+    top = vander[:k, :]
+    top_inverse = matrix_invert(top)
+    generator = matrix_multiply(vander, top_inverse)
+    # Clean up: the top block must be exactly the identity.
+    generator[:k, :] = identity_matrix(k)
+    return generator

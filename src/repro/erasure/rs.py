@@ -1,0 +1,103 @@
+"""Systematic Reed-Solomon ``[n, k]`` MDS code over GF(2^8).
+
+Encoding multiplies the ``k`` data shards by a systematic ``n x k`` generator
+matrix built from a Vandermonde matrix (:func:`repro.erasure.matrix.systematic_generator`);
+decoding inverts the ``k x k`` submatrix corresponding to the ``k`` surviving
+fragments.  Any ``k`` of the ``n`` coded elements reconstruct the value,
+which is exactly the MDS property the paper relies on.
+
+This is the stand-in for pyeclib/liberasurecode in the original deployment;
+the storage and communication accounting (fragment size ``|v|/k``) is
+identical, only raw encode/decode throughput differs (see
+``benchmarks/bench_erasure.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.common.errors import DecodeError
+from repro.common.values import Value
+from repro.erasure.gf256 import gf_matmul_vec
+from repro.erasure.interface import CodedElement, ErasureCode
+from repro.erasure.matrix import matrix_invert, systematic_generator
+from repro.erasure.striping import join_shards, split_into_shards
+
+# Generator matrices only depend on (n, k); cache them across code instances
+# because deployments create one code object per configuration.
+_GENERATOR_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+class ReedSolomonCode(ErasureCode):
+    """A systematic Reed-Solomon ``[n, k]`` code.
+
+    Parameters
+    ----------
+    n:
+        Number of coded elements (must equal the configuration's server count).
+    k:
+        Number of elements required to decode.  TREAS liveness requires
+        ``k > n/3``; the constructor enforces only ``1 <= k <= n <= 255`` and
+        leaves protocol-level constraints to the configuration validation.
+    """
+
+    def __init__(self, n: int, k: int) -> None:
+        if not 1 <= k <= n:
+            raise ValueError(f"invalid Reed-Solomon parameters [n={n}, k={k}]")
+        if n > 255:
+            raise ValueError("GF(2^8) Reed-Solomon supports at most 255 fragments")
+        self.n = n
+        self.k = k
+        key = (n, k)
+        if key not in _GENERATOR_CACHE:
+            _GENERATOR_CACHE[key] = systematic_generator(n, k)
+        self.generator = _GENERATOR_CACHE[key]
+
+    # ---------------------------------------------------------------- encode
+    def encode(self, value: Value) -> List[CodedElement]:
+        """Encode ``value`` into ``n`` coded elements ``Φ_1(v) ... Φ_n(v)``."""
+        shards = split_into_shards(value.payload, self.k)
+        coded = gf_matmul_vec(self.generator, shards)
+        return [
+            CodedElement(index=i, payload=coded[i].tobytes(),
+                         original_size=value.size, label=value.label)
+            for i in range(self.n)
+        ]
+
+    # ---------------------------------------------------------------- decode
+    def decode(self, elements: Iterable[CodedElement]) -> Value:
+        """Reconstruct the value from any ``k`` distinct coded elements."""
+        unique: Dict[int, CodedElement] = {}
+        for element in elements:
+            if element is None:
+                continue
+            if not 0 <= element.index < self.n:
+                raise DecodeError(
+                    f"coded element index {element.index} out of range for [n={self.n}, k={self.k}]"
+                )
+            unique.setdefault(element.index, element)
+        if len(unique) < self.k:
+            raise DecodeError(
+                f"need {self.k} distinct coded elements to decode, got {len(unique)}"
+            )
+        chosen = [unique[i] for i in sorted(unique)][: self.k]
+        sizes = {e.size for e in chosen}
+        if len(sizes) > 1:
+            raise DecodeError(f"inconsistent fragment sizes {sorted(sizes)}")
+        original_sizes = {e.original_size for e in chosen}
+        if len(original_sizes) > 1:
+            raise DecodeError(
+                f"fragments disagree on the original value size {sorted(original_sizes)}"
+            )
+        original_size = chosen[0].original_size
+
+        indices = [e.index for e in chosen]
+        submatrix = self.generator[indices, :]
+        decode_matrix = matrix_invert(submatrix)
+        fragments = [np.frombuffer(e.payload, dtype=np.uint8).copy() for e in chosen]
+        data_shards = gf_matmul_vec(decode_matrix, fragments)
+        payload = join_shards(data_shards, original_size)
+        label = chosen[0].label
+        return Value(payload=payload, label=label)

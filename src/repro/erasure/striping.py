@@ -1,0 +1,40 @@
+"""Splitting byte strings into ``k`` equal shards.
+
+Before Reed-Solomon encoding a value is divided into ``k`` data shards of
+equal length (the paper: "v is divided into k elements v_1 ... v_k with each
+element having size 1/k").  Values whose length is not a multiple of ``k``
+are padded with zero bytes; the original length travels with every coded
+element so decoding can strip the padding.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def shard_length(value_size: int, k: int) -> int:
+    """Length of each of the ``k`` shards for a ``value_size``-byte value."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if value_size == 0:
+        return 0
+    return -(-value_size // k)  # ceil division
+
+
+def split_into_shards(payload: bytes, k: int) -> List[np.ndarray]:
+    """Split ``payload`` into ``k`` equal-length ``uint8`` arrays (zero padded)."""
+    length = shard_length(len(payload), k)
+    padded = np.zeros(length * k, dtype=np.uint8)
+    if payload:
+        padded[: len(payload)] = np.frombuffer(payload, dtype=np.uint8)
+    return [padded[i * length:(i + 1) * length].copy() for i in range(k)]
+
+
+def join_shards(shards: List[np.ndarray], original_size: int) -> bytes:
+    """Concatenate data shards and strip padding back to ``original_size`` bytes."""
+    if not shards:
+        return b""
+    joined = np.concatenate(shards)
+    return joined.tobytes()[:original_size]

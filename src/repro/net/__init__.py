@@ -1,0 +1,30 @@
+"""Simulated asynchronous message-passing network.
+
+Provides the point-to-point channels of the paper's model: asynchronous,
+reliable (by default), with per-message delivery delay drawn from a
+configurable latency model bounded by ``[d, D]``.  The network also keeps the
+byte-level traffic accounting that the communication-cost experiments use,
+and exposes hooks for crash/partition/loss injection used in robustness
+tests.
+"""
+
+from repro.net.message import Message, request, reply
+from repro.net.latency import LatencyModel, FixedLatency, UniformLatency, AsymmetricLatency
+from repro.net.network import Network
+from repro.net.stats import TrafficStats, TrafficRecord
+from repro.net.failures import FailureInjector, PartitionController
+
+__all__ = [
+    "Message",
+    "request",
+    "reply",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "AsymmetricLatency",
+    "Network",
+    "TrafficStats",
+    "TrafficRecord",
+    "FailureInjector",
+    "PartitionController",
+]

@@ -1,0 +1,140 @@
+"""Failure injection utilities.
+
+The protocols are proved correct under crash-stop failures of clients and a
+bounded number of servers per configuration.  The helpers here script such
+failures (and harsher ones, for substrate robustness tests):
+
+* :class:`FailureInjector` -- schedule crashes at given times, crash random
+  subsets of servers respecting the per-configuration tolerance, crash a
+  client in the middle of an operation.
+* :class:`PartitionController` -- temporarily partition the process set into
+  groups that cannot exchange messages; used only by substrate tests since
+  the paper's channels are reliable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.common.ids import ProcessId
+from repro.net.message import Message
+from repro.net.network import Network
+
+
+class FailureInjector:
+    """Scripted crash failures on a :class:`~repro.net.network.Network`."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.scheduled: List[tuple] = []
+
+    def crash_now(self, pid: ProcessId) -> None:
+        """Crash ``pid`` at the current virtual time."""
+        self.network.crash(pid)
+        self.scheduled.append((self.sim.now, pid))
+
+    def crash_at(self, pid: ProcessId, time: float) -> None:
+        """Crash ``pid`` at absolute time ``time``."""
+        self.network.crash_at(pid, time)
+        self.scheduled.append((time, pid))
+
+    def crash_after(self, pid: ProcessId, delay: float) -> None:
+        """Crash ``pid`` after ``delay`` time units from now."""
+        self.crash_at(pid, self.sim.now + delay)
+
+    def crash_random_servers(
+        self,
+        servers: Sequence[ProcessId],
+        count: int,
+        at: Optional[float] = None,
+    ) -> List[ProcessId]:
+        """Crash ``count`` servers chosen uniformly at random from ``servers``.
+
+        Returns the chosen victims.  The caller is responsible for keeping
+        ``count`` within the failure tolerance of the configuration
+        (``f <= (n - k) / 2`` for TREAS, a minority for ABD).
+        """
+        pool = list(servers)
+        if count > len(pool):
+            raise ValueError(f"cannot crash {count} of {len(pool)} servers")
+        victims = []
+        for _ in range(count):
+            victim = self.sim.choice(pool)
+            pool.remove(victim)
+            victims.append(victim)
+            if at is None:
+                self.crash_now(victim)
+            else:
+                self.crash_at(victim, at)
+        return victims
+
+    def max_tolerated_failures(self, n: int, k: int) -> int:
+        """The paper's crash tolerance for an ``[n, k]`` configuration: ``⌊(n-k)/2⌋``."""
+        return (n - k) // 2
+
+
+class PartitionController:
+    """Temporarily partition the network into disjoint groups.
+
+    While a partition is active, messages crossing group boundaries are
+    dropped.  The paper's model has reliable channels, so partitions are only
+    used to test the substrate and to demonstrate (in examples) that ARES
+    operations stall rather than violate safety when quorums are unreachable.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._groups: Optional[List[Set[ProcessId]]] = None
+        self._rule_installed = False
+
+    def _group_of(self, pid: ProcessId) -> int:
+        assert self._groups is not None
+        for index, group in enumerate(self._groups):
+            if pid in group:
+                return index
+        return -1
+
+    def _drop_rule(self, src: ProcessId, dest: ProcessId, message: Message) -> bool:
+        if self._groups is None:
+            return False
+        return self._group_of(src) != self._group_of(dest)
+
+    def partition(self, *groups: Iterable[ProcessId]) -> None:
+        """Install a partition; each argument is one side."""
+        self._groups = [set(group) for group in groups]
+        if not self._rule_installed:
+            self.network.add_drop_filter(self._drop_rule)
+            self._rule_installed = True
+
+    def heal(self) -> None:
+        """Remove the partition; future messages flow normally."""
+        self._groups = None
+
+    def partition_for(self, duration: float, *groups: Iterable[ProcessId]) -> None:
+        """Partition now and automatically heal after ``duration`` time units."""
+        self.partition(*groups)
+        self.network.sim.schedule(duration, self.heal, label="heal partition")
+
+
+class MessageLossModel:
+    """Drop each message independently with a fixed probability.
+
+    Not part of the paper's model (channels are reliable); exists so that
+    substrate tests can show the quorum machinery's behaviour is well-defined
+    when the reliability assumption is broken.
+    """
+
+    def __init__(self, network: Network, loss_probability: float) -> None:
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError("loss probability must be in [0, 1]")
+        self.network = network
+        self.loss_probability = loss_probability
+        network.add_drop_filter(self._rule)
+
+    def _rule(self, src: ProcessId, dest: ProcessId, message: Message) -> bool:
+        return self.network.sim.rng.random() < self.loss_probability
+
+    def remove(self) -> None:
+        """Stop dropping messages."""
+        self.network.remove_drop_filter(self._rule)

@@ -1,0 +1,127 @@
+"""The simulated network.
+
+:class:`Network` owns the registry of processes, delivers messages with a
+delay drawn from its :class:`~repro.net.latency.LatencyModel`, feeds the
+traffic accountant, and applies failure rules (crashes, partitions, message
+loss) injected through :mod:`repro.net.failures`.
+
+Channels are reliable and FIFO-less by default, exactly matching the paper's
+model: messages may be arbitrarily reordered (each draws an independent
+delay) but are never lost unless a loss rule is explicitly installed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.ids import ProcessId
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.message import Message
+from repro.net.stats import TrafficStats
+from repro.sim.core import Simulator
+from repro.sim.process import Process
+
+
+class Network:
+    """Point-to-point asynchronous network over a :class:`Simulator`.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing the clock and RNG.
+    latency:
+        The latency model; defaults to :class:`FixedLatency(1.0)`.
+    """
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else FixedLatency(1.0)
+        self.stats = TrafficStats()
+        self.processes: Dict[ProcessId, Process] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        # Filters return True if the message should be DROPPED.
+        self._drop_filters: List[Callable[[ProcessId, ProcessId, Message], bool]] = []
+        # Observers see every (src, dest, message, deliver_time) tuple accepted for delivery.
+        self._observers: List[Callable[[ProcessId, ProcessId, Message, float], None]] = []
+
+    # -------------------------------------------------------------- registry
+    def register(self, process: Process) -> None:
+        """Register a process; its id must be unique."""
+        if process.pid in self.processes:
+            raise SimulationError(f"process id {process.pid} registered twice")
+        self.processes[process.pid] = process
+
+    def process(self, pid: ProcessId) -> Process:
+        """Look up a registered process."""
+        try:
+            return self.processes[pid]
+        except KeyError:
+            raise SimulationError(f"unknown process {pid}") from None
+
+    def is_crashed(self, pid: ProcessId) -> bool:
+        """Whether ``pid`` has crashed (unknown processes count as crashed)."""
+        process = self.processes.get(pid)
+        return process is None or process.crashed
+
+    def alive(self, pids: Iterable[ProcessId]) -> List[ProcessId]:
+        """Filter ``pids`` down to those that are registered and not crashed."""
+        return [p for p in pids if not self.is_crashed(p)]
+
+    # ------------------------------------------------------------ fault hooks
+    def add_drop_filter(self, rule: Callable[[ProcessId, ProcessId, Message], bool]) -> None:
+        """Install a rule; messages for which it returns ``True`` are dropped."""
+        self._drop_filters.append(rule)
+
+    def remove_drop_filter(self, rule: Callable[[ProcessId, ProcessId, Message], bool]) -> None:
+        """Remove a previously installed drop rule (no error if absent)."""
+        if rule in self._drop_filters:
+            self._drop_filters.remove(rule)
+
+    def add_observer(self, observer: Callable[[ProcessId, ProcessId, Message, float], None]) -> None:
+        """Install a passive observer of all sent messages (for tests/traces)."""
+        self._observers.append(observer)
+
+    # --------------------------------------------------------------- delivery
+    def send(self, src: ProcessId, dest: ProcessId, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dest``.
+
+        The message is charged to the traffic accountant at send time (a
+        dropped message still consumed bandwidth at the sender) and delivered
+        after a latency-model delay, unless a drop filter discards it or the
+        destination has crashed by delivery time.
+        """
+        self.messages_sent += 1
+        self.stats.record(src, dest, message.kind, message.data_bytes, message.metadata_bytes)
+        for rule in self._drop_filters:
+            if rule(src, dest, message):
+                self.messages_dropped += 1
+                return
+        delay = self.latency.sample(self.sim, src, dest)
+        for observer in self._observers:
+            observer(src, dest, message, self.sim.now + delay)
+        self.sim.schedule(delay, lambda: self._deliver(src, dest, message),
+                          label=f"deliver {message.kind} {src}->{dest}")
+
+    def _deliver(self, src: ProcessId, dest: ProcessId, message: Message) -> None:
+        process = self.processes.get(dest)
+        if process is None or process.crashed:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        process.deliver(src, message)
+
+    # -------------------------------------------------------------- lifecycle
+    def crash(self, pid: ProcessId) -> None:
+        """Crash the process ``pid`` immediately."""
+        self.process(pid).crash()
+
+    def crash_at(self, pid: ProcessId, time: float) -> None:
+        """Schedule a crash of ``pid`` at absolute virtual time ``time``."""
+        self.sim.schedule_at(time, lambda: self.crash(pid), label=f"crash {pid}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Network processes={len(self.processes)} sent={self.messages_sent} "
+                f"delivered={self.messages_delivered} dropped={self.messages_dropped}>")

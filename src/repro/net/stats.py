@@ -1,0 +1,153 @@
+"""Traffic accounting.
+
+The communication-cost experiments (E2, E7) need to attribute bytes on the
+wire to individual operations.  The network reports every delivered message
+to a :class:`TrafficStats` instance; protocol code can open *accounting
+scopes* (one per client operation) so that all traffic generated while an
+operation is in flight is attributed to it.
+
+Two figures are kept for every record, mirroring the paper's cost model:
+
+``data_bytes``
+    Bytes of object value / coded elements -- the quantity the paper's
+    theorems bound (normalised by the value size this is ``n/k`` and friends).
+``metadata_bytes``
+    Estimated bytes of tags, ids and statuses -- "negligible" in the paper,
+    reported separately here for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.ids import ProcessId
+
+
+@dataclass
+class TrafficRecord:
+    """Aggregated traffic counters."""
+
+    messages: int = 0
+    data_bytes: int = 0
+    metadata_bytes: int = 0
+
+    def add(self, data_bytes: int, metadata_bytes: int) -> None:
+        """Accumulate one message."""
+        self.messages += 1
+        self.data_bytes += data_bytes
+        self.metadata_bytes += metadata_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Data plus metadata bytes."""
+        return self.data_bytes + self.metadata_bytes
+
+    def normalised(self, value_size: int) -> float:
+        """Data bytes divided by the object value size (the paper's units)."""
+        if value_size <= 0:
+            return 0.0
+        return self.data_bytes / value_size
+
+    def __add__(self, other: "TrafficRecord") -> "TrafficRecord":
+        return TrafficRecord(
+            messages=self.messages + other.messages,
+            data_bytes=self.data_bytes + other.data_bytes,
+            metadata_bytes=self.metadata_bytes + other.metadata_bytes,
+        )
+
+
+@dataclass
+class OperationScope:
+    """An open accounting scope attributed to one client operation."""
+
+    name: str
+    owner: ProcessId
+    record: TrafficRecord = field(default_factory=TrafficRecord)
+    open: bool = True
+
+
+class TrafficStats:
+    """Network-wide traffic accounting.
+
+    The global counters are always maintained.  Per-operation attribution
+    works by scope: :meth:`open_scope` returns a handle; every message whose
+    *sender or receiver* is the scope owner is charged to the scope while it
+    is open.  Scopes are cheap, and multiple concurrent scopes (one per
+    in-flight operation of different clients) are supported.
+    """
+
+    def __init__(self) -> None:
+        self.global_record = TrafficRecord()
+        self.per_kind: Dict[str, TrafficRecord] = {}
+        self.per_link: Dict[Tuple[ProcessId, ProcessId], TrafficRecord] = {}
+        self._scopes: List[OperationScope] = []
+        self._per_process_scopes: Dict[ProcessId, List[OperationScope]] = {}
+
+    # -------------------------------------------------------------- recording
+    def record(self, src: ProcessId, dest: ProcessId, kind: str,
+               data_bytes: int, metadata_bytes: int) -> None:
+        """Record one delivered message."""
+        self.global_record.add(data_bytes, metadata_bytes)
+        self.per_kind.setdefault(kind, TrafficRecord()).add(data_bytes, metadata_bytes)
+        self.per_link.setdefault((src, dest), TrafficRecord()).add(data_bytes, metadata_bytes)
+        for owner in (src, dest):
+            for scope in self._per_process_scopes.get(owner, ()):  # pragma: no branch
+                if scope.open:
+                    scope.record.add(data_bytes, metadata_bytes)
+
+    # ---------------------------------------------------------------- scopes
+    def open_scope(self, name: str, owner: ProcessId) -> OperationScope:
+        """Open an accounting scope charging traffic to/from ``owner``."""
+        scope = OperationScope(name=name, owner=owner)
+        self._scopes.append(scope)
+        self._per_process_scopes.setdefault(owner, []).append(scope)
+        return scope
+
+    def close_scope(self, scope: OperationScope) -> TrafficRecord:
+        """Close the scope and return its accumulated record."""
+        scope.open = False
+        owner_scopes = self._per_process_scopes.get(scope.owner, [])
+        if scope in owner_scopes:
+            owner_scopes.remove(scope)
+        return scope.record
+
+    # --------------------------------------------------------------- queries
+    def by_kind(self, kind: str) -> TrafficRecord:
+        """Traffic for one message kind (e.g. ``"PUT-DATA"``)."""
+        return self.per_kind.get(kind, TrafficRecord())
+
+    def link(self, src: ProcessId, dest: ProcessId) -> TrafficRecord:
+        """Traffic on one directed link."""
+        return self.per_link.get((src, dest), TrafficRecord())
+
+    def to_and_from(self, pid: ProcessId) -> TrafficRecord:
+        """All traffic sent or received by ``pid``."""
+        total = TrafficRecord()
+        for (src, dest), record in self.per_link.items():
+            if src == pid or dest == pid:
+                total = total + record
+        return total
+
+    def reset(self) -> None:
+        """Zero all counters (open scopes are preserved but also reset)."""
+        self.global_record = TrafficRecord()
+        self.per_kind.clear()
+        self.per_link.clear()
+        for scope in self._scopes:
+            scope.record = TrafficRecord()
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (used by examples)."""
+        lines = [
+            f"messages:       {self.global_record.messages}",
+            f"data bytes:     {self.global_record.data_bytes}",
+            f"metadata bytes: {self.global_record.metadata_bytes}",
+            "per message kind:",
+        ]
+        for kind in sorted(self.per_kind):
+            record = self.per_kind[kind]
+            lines.append(
+                f"  {kind:<22} {record.messages:>8} msgs  {record.data_bytes:>12} data B"
+            )
+        return "\n".join(lines)

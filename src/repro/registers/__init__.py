@@ -1,0 +1,19 @@
+"""Static atomic registers built from DAPs (templates A1 and A2).
+
+A *static* register runs inside a single, fixed configuration -- no
+reconfiguration.  This is how the paper presents TREAS (Section 3) and the
+ABD/LDR transformations (Appendix A.1), and it is the baseline against which
+the reconfigurable ARES store is compared in the benchmarks.
+"""
+
+from repro.registers.static import (
+    RegisterServer,
+    RegisterClient,
+    StaticRegisterDeployment,
+)
+
+__all__ = [
+    "RegisterServer",
+    "RegisterClient",
+    "StaticRegisterDeployment",
+]

@@ -1,0 +1,233 @@
+"""The discrete-event simulator core.
+
+The simulator maintains a virtual clock and a priority queue of events.
+Everything that happens in an execution -- message deliveries, timer
+expirations, scheduled crashes -- is an :class:`Event` with a firing time, a
+monotonically increasing sequence number (for deterministic tie-breaking)
+and a callback.
+
+Determinism
+-----------
+Given the same seed and the same schedule of API calls, two runs produce the
+exact same execution: ties in firing time are broken by insertion order, and
+all randomness (link latencies, workload inter-arrival times) is drawn from
+the simulator's single seeded :class:`random.Random` instance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)``; ``seq`` is a global insertion
+    counter that makes simultaneous events fire in the order they were
+    scheduled, which keeps executions deterministic.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the queue but is skipped)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the simulator-wide random number generator.  All stochastic
+        components (latency models, workload generators) must draw from
+        :attr:`rng` so that executions are reproducible.
+
+    Notes
+    -----
+    The virtual clock starts at ``0.0`` and only advances when
+    :meth:`run` / :meth:`run_until` / :meth:`step` process events.  Time
+    units are abstract; the latency analysis benchmarks interpret them as
+    the paper's ``d``/``D`` time units.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self._now: float = 0.0
+        self._queue: List[Event] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._running = False
+        self._trace: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (a rough measure of work)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Returns the :class:`Event`, which can be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} time units in the past")
+        return self.schedule_at(self._now + delay, callback, label=label)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at time {time} before the current time {self._now}"
+            )
+        event = Event(time=time, seq=self._seq, callback=callback, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(self, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at the current time (after already-queued events at this time)."""
+        return self.schedule(0.0, callback, label=label)
+
+    # ------------------------------------------------------------------- run
+    def step(self) -> bool:
+        """Process a single event.
+
+        Returns ``True`` if an event was processed, ``False`` if the queue
+        was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            if self._trace is not None and event.label:
+                self._trace.append(f"{event.time:.3f} {event.label}")
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the event queue drains or ``max_events`` events fire.
+
+        Raises
+        ------
+        SimulationError
+            If ``max_events`` is exhausted, which almost always indicates a
+            livelock in a protocol under test.
+        """
+        self._running = True
+        processed = 0
+        try:
+            while self.step():
+                processed += 1
+                if processed >= max_events:
+                    raise SimulationError(
+                        f"simulation did not quiesce within {max_events} events; "
+                        "a protocol is likely livelocked"
+                    )
+        finally:
+            self._running = False
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> None:
+        """Run events with firing time ``<= time``; the clock ends at ``time``.
+
+        Events scheduled later stay queued so that the simulation can be
+        resumed.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot run until {time}, already at {self._now}")
+        processed = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if event.time > time:
+                break
+            self.step()
+            processed += 1
+            if processed >= max_events:
+                raise SimulationError(
+                    f"simulation did not quiesce within {max_events} events before time {time}"
+                )
+        self._now = time
+
+    def run_until_complete(self, future, max_events: int = 10_000_000):
+        """Run until ``future`` resolves, and return its result.
+
+        Convenience used by tests and examples to drive a single top-level
+        operation synchronously.
+        """
+        processed = 0
+        while not future.done():
+            if not self.step():
+                raise SimulationError(
+                    "event queue drained before the awaited future resolved; "
+                    "the operation cannot make progress (missing quorum or crashed client?)"
+                )
+            processed += 1
+            if processed >= max_events:
+                raise SimulationError(
+                    f"future did not resolve within {max_events} events; likely livelock"
+                )
+        return future.result()
+
+    # ----------------------------------------------------------------- trace
+    def enable_trace(self) -> None:
+        """Start recording labelled events (used by debugging tests)."""
+        self._trace = []
+
+    @property
+    def trace(self) -> List[str]:
+        """The recorded trace lines (empty unless :meth:`enable_trace` was called)."""
+        return list(self._trace or [])
+
+    # -------------------------------------------------------------- utilities
+    def uniform(self, low: float, high: float) -> float:
+        """Draw from the simulator RNG; used by latency models."""
+        if high < low:
+            raise SimulationError(f"invalid uniform range [{low}, {high}]")
+        if low == high:
+            return low
+        return self.rng.uniform(low, high)
+
+    def exponential(self, mean: float) -> float:
+        """Draw an exponential inter-arrival time with the given mean."""
+        if mean <= 0:
+            raise SimulationError("exponential mean must be positive")
+        return self.rng.expovariate(1.0 / mean)
+
+    def choice(self, seq):
+        """Deterministically choose an element of ``seq`` using the simulator RNG."""
+        return self.rng.choice(list(seq))
+
+    def shuffle(self, seq: list) -> list:
+        """Return a new list with the elements of ``seq`` shuffled deterministically."""
+        items = list(seq)
+        self.rng.shuffle(items)
+        return items

@@ -1,0 +1,301 @@
+"""Futures and the generator-coroutine runner.
+
+Protocol actions in this library -- e.g. TREAS's ``get-data`` quorum gather,
+ARES's ``read-config`` traversal, a Paxos proposer round -- are written as
+Python *generator coroutines*: ordinary functions containing ``yield``
+expressions whose yielded objects are :class:`SimFuture` instances.  The
+runner (:func:`spawn`) drives such a generator on the simulator, resuming it
+whenever the awaited future resolves.
+
+This is a deliberately tiny stand-in for ``asyncio``: deterministic, introspectable
+and entirely under the control of the seeded :class:`~repro.sim.core.Simulator`.
+
+Typical use inside a protocol::
+
+    def _get_tag(self, cfg):
+        fut = self.broadcast_and_gather(cfg.servers, QueryTag(...), quorum=cfg.quorum_size)
+        replies = yield fut                      # suspend until the quorum answered
+        return max(r.tag for r in replies)
+
+and from the outside::
+
+    op = spawn(sim, client._get_tag(cfg))
+    sim.run_until_complete(op)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.common.errors import OperationAborted, SimulationError
+from repro.sim.core import Simulator
+
+
+class SimFuture:
+    """A single-assignment container resolved at some future virtual time.
+
+    A future is either *pending*, *resolved* with a result, or *failed* with
+    an exception.  Callbacks added with :meth:`add_done_callback` run
+    immediately if the future is already done.
+    """
+
+    __slots__ = ("_sim", "_done", "_result", "_exception", "_callbacks", "label")
+
+    def __init__(self, sim: Simulator, label: str = "") -> None:
+        self._sim = sim
+        self._done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["SimFuture"], None]] = []
+        self.label = label
+
+    # ------------------------------------------------------------------ state
+    def done(self) -> bool:
+        """Return ``True`` once the future is resolved or failed."""
+        return self._done
+
+    def result(self) -> Any:
+        """Return the result, raising the stored exception if the future failed."""
+        if not self._done:
+            raise SimulationError(f"future {self.label!r} is not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        """Return the stored exception, or ``None``."""
+        return self._exception
+
+    # ------------------------------------------------------------- resolution
+    def set_result(self, result: Any) -> None:
+        """Resolve the future with ``result`` and run callbacks."""
+        if self._done:
+            raise SimulationError(f"future {self.label!r} resolved twice")
+        self._done = True
+        self._result = result
+        self._fire_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Fail the future with ``exc`` and run callbacks."""
+        if self._done:
+            raise SimulationError(f"future {self.label!r} resolved twice")
+        self._done = True
+        self._exception = exc
+        self._fire_callbacks()
+
+    def try_set_result(self, result: Any) -> bool:
+        """Resolve the future if still pending; return whether it was resolved now."""
+        if self._done:
+            return False
+        self.set_result(result)
+        return True
+
+    def add_done_callback(self, callback: Callable[["SimFuture"], None]) -> None:
+        """Run ``callback(self)`` when the future completes (immediately if done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class QuorumFuture(SimFuture):
+    """A future that resolves once ``threshold`` responses have been collected.
+
+    Used for every "await replies from a quorum" step in the protocols.  The
+    responses collected so far are available as :attr:`responses`; the future
+    resolves with the *list of responses present at the moment the threshold
+    was reached* (later responses are still appended for diagnostic purposes
+    but do not change the result).
+    """
+
+    __slots__ = ("threshold", "responses", "_frozen_result")
+
+    def __init__(self, sim: Simulator, threshold: int, label: str = "") -> None:
+        super().__init__(sim, label=label)
+        if threshold < 0:
+            raise SimulationError("quorum threshold must be non-negative")
+        self.threshold = threshold
+        self.responses: List[Any] = []
+        self._frozen_result: Optional[List[Any]] = None
+        if threshold == 0:
+            self.set_result([])
+
+    def add_response(self, response: Any) -> None:
+        """Record one response; resolves the future at the threshold."""
+        self.responses.append(response)
+        if not self.done() and len(self.responses) >= self.threshold:
+            self._frozen_result = list(self.responses)
+            self.set_result(self._frozen_result)
+
+
+class Timer(SimFuture):
+    """A future that resolves after a fixed virtual delay."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, sim: Simulator, delay: float, label: str = "timer") -> None:
+        super().__init__(sim, label=label)
+        self.event = sim.schedule(delay, lambda: self.try_set_result(None), label=label)
+
+    def cancel(self) -> None:
+        """Cancel the underlying event; the future never resolves."""
+        self.event.cancel()
+
+
+def all_of(sim: Simulator, futures: Iterable[SimFuture], label: str = "all_of") -> SimFuture:
+    """Return a future resolving with the list of results of ``futures``.
+
+    Fails fast with the first exception raised by any constituent future.
+    """
+    futures = list(futures)
+    combined = SimFuture(sim, label=label)
+    if not futures:
+        combined.set_result([])
+        return combined
+    remaining = {"count": len(futures)}
+
+    def on_done(_fut: SimFuture) -> None:
+        if combined.done():
+            return
+        if _fut.exception() is not None:
+            combined.set_exception(_fut.exception())
+            return
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            combined.set_result([f.result() for f in futures])
+
+    for fut in futures:
+        fut.add_done_callback(on_done)
+    return combined
+
+
+def any_of(sim: Simulator, futures: Iterable[SimFuture], label: str = "any_of") -> SimFuture:
+    """Return a future resolving with the result of the first future to complete."""
+    futures = list(futures)
+    combined = SimFuture(sim, label=label)
+    if not futures:
+        raise SimulationError("any_of requires at least one future")
+
+    def on_done(_fut: SimFuture) -> None:
+        if combined.done():
+            return
+        if _fut.exception() is not None:
+            combined.set_exception(_fut.exception())
+        else:
+            combined.set_result(_fut.result())
+
+    for fut in futures:
+        fut.add_done_callback(on_done)
+    return combined
+
+
+class Coroutine:
+    """Handle of a running generator coroutine.
+
+    The handle is itself a :class:`SimFuture` that resolves with the
+    coroutine's return value (the value of its ``return`` statement) or
+    fails with the exception the coroutine raised.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator, label: str = "") -> None:
+        self.sim = sim
+        self.generator = generator
+        self.completion = SimFuture(sim, label=label or "coroutine")
+        self.label = label
+        self._aborted = False
+
+    # -------------------------------------------------------------- stepping
+    def start(self) -> "Coroutine":
+        """Begin executing the coroutine (runs synchronously until its first yield)."""
+        self._advance(None, None)
+        return self
+
+    def abort(self, reason: str = "aborted") -> None:
+        """Inject :class:`OperationAborted` into the coroutine at its next resume point.
+
+        Used when the owning client crashes: pending operations terminate
+        exceptionally instead of lingering.
+        """
+        self._aborted = True
+        if not self.completion.done():
+            # If the coroutine is currently suspended on a future we cannot
+            # forcibly resume it synchronously without risking re-entrancy,
+            # so we just mark it and fail the completion; the generator is
+            # closed to run any cleanup (finally blocks).
+            try:
+                self.generator.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+            self.completion.set_exception(OperationAborted(reason))
+
+    def _advance(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.completion.done():
+            return
+        try:
+            if exc is not None:
+                yielded = self.generator.throw(exc)
+            else:
+                yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self.completion.set_result(getattr(stop, "value", None))
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate into the future
+            self.completion.set_exception(error)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, SimFuture):
+            future = yielded
+        elif isinstance(yielded, (int, float)):
+            future = Timer(self.sim, float(yielded), label=f"{self.label}:sleep")
+        else:
+            self._advance(
+                None,
+                SimulationError(
+                    f"coroutine {self.label!r} yielded {type(yielded).__name__}; "
+                    "only SimFuture instances or numeric delays may be yielded"
+                ),
+            )
+            return
+
+        def resume(fut: SimFuture) -> None:
+            if self._aborted or self.completion.done():
+                return
+            # Resume on a fresh event so that deep chains do not recurse and
+            # so that all resumptions are ordered by the simulator.
+            if fut.exception() is not None:
+                self.sim.call_soon(lambda: self._advance(None, fut.exception()),
+                                   label=f"{self.label}:resume-exc")
+            else:
+                self.sim.call_soon(lambda: self._advance(fut.result(), None),
+                                   label=f"{self.label}:resume")
+
+        future.add_done_callback(resume)
+
+    # ------------------------------------------------------------ future API
+    def done(self) -> bool:
+        """Return whether the coroutine has finished."""
+        return self.completion.done()
+
+    def result(self) -> Any:
+        """Return the coroutine's return value (or raise its exception)."""
+        return self.completion.result()
+
+    def exception(self) -> Optional[BaseException]:
+        """Return the coroutine's exception, if any."""
+        return self.completion.exception()
+
+    def add_done_callback(self, callback: Callable[[SimFuture], None]) -> None:
+        """Register a completion callback on the underlying future."""
+        self.completion.add_done_callback(callback)
+
+
+def spawn(sim: Simulator, generator: Generator, label: str = "") -> Coroutine:
+    """Run ``generator`` as a coroutine on the simulator and return its handle."""
+    return Coroutine(sim, generator, label=label).start()

@@ -1,0 +1,217 @@
+"""Process abstraction.
+
+Every participant of the emulation -- writers, readers, reconfiguration
+clients and servers -- is a :class:`Process` attached to a
+:class:`~repro.net.network.Network`.  A process can:
+
+* send messages (:meth:`Process.send`) and receive them through
+  :meth:`Process.on_message`;
+* broadcast a request to a set of servers and gather replies into a
+  :class:`~repro.sim.futures.QuorumFuture` (:meth:`Process.broadcast_and_gather`)
+  -- the building block of every quorum phase in the paper;
+* spawn protocol coroutines (:meth:`Process.spawn`);
+* crash (:meth:`Process.crash`), after which it neither sends nor receives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.common.errors import QuorumUnavailableError
+from repro.common.ids import ProcessId
+from repro.sim.core import Simulator
+from repro.sim.futures import Coroutine, QuorumFuture, SimFuture, Timer, spawn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.message import Message
+    from repro.net.network import Network
+
+
+class Process:
+    """Base class for all simulated processes.
+
+    Parameters
+    ----------
+    pid:
+        The globally unique :class:`~repro.common.ids.ProcessId`.
+    network:
+        The :class:`~repro.net.network.Network` the process is attached to.
+        Registration with the network happens in the constructor.
+    """
+
+    def __init__(self, pid: ProcessId, network: "Network") -> None:
+        self.pid = pid
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.crashed = False
+        self._coroutines: List[Coroutine] = []
+        # Pending quorum gathers indexed by a per-process request id so that
+        # replies can be routed back to the phase that issued the request.
+        self._pending_gathers: Dict[int, QuorumFuture] = {}
+        self._next_request_id = 0
+        network.register(self)
+
+    # ----------------------------------------------------------------- state
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now
+
+    def crash(self) -> None:
+        """Crash the process.
+
+        A crashed process stops receiving and sending messages and every
+        protocol coroutine it owns is aborted.  Crashes are permanent (the
+        paper's failure model is crash-stop).
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        for coroutine in self._coroutines:
+            if not coroutine.done():
+                coroutine.abort(f"{self.pid} crashed")
+        self._coroutines.clear()
+        self._pending_gathers.clear()
+
+    # ------------------------------------------------------------- messaging
+    def send(self, dest: ProcessId, message: "Message") -> None:
+        """Send ``message`` to ``dest`` over the network (no-op if crashed)."""
+        if self.crashed:
+            return
+        self.network.send(self.pid, dest, message)
+
+    def deliver(self, src: ProcessId, message: "Message") -> None:
+        """Entry point called by the network when a message arrives."""
+        if self.crashed:
+            return
+        # First give pending quorum gathers a chance to consume the reply.
+        request_id = getattr(message, "in_reply_to", None)
+        if request_id is not None and request_id in self._pending_gathers:
+            self._pending_gathers[request_id].add_response((src, message))
+            return
+        self.on_message(src, message)
+
+    def on_message(self, src: ProcessId, message: "Message") -> None:
+        """Handle an unsolicited message.  Subclasses override this."""
+
+    # ------------------------------------------------------- quorum gathering
+    def new_request_id(self) -> int:
+        """Return a fresh request identifier (scoped to this process)."""
+        self._next_request_id += 1
+        return self._next_request_id
+
+    def broadcast_and_gather(
+        self,
+        servers: Iterable[ProcessId],
+        make_message: Callable[[int], "Message"],
+        threshold: int,
+        label: str = "gather",
+    ) -> QuorumFuture:
+        """Send a request to every server and await ``threshold`` replies.
+
+        Parameters
+        ----------
+        servers:
+            Destination processes (typically ``c.Servers``).
+        make_message:
+            Called with the fresh request id; must return the request
+            message.  The request id is embedded so that replies (which carry
+            ``in_reply_to``) are routed to the returned future.
+        threshold:
+            Number of replies to await (e.g. a majority, or ``⌈(n+k)/2⌉``).
+        label:
+            Diagnostic label for traces.
+
+        Returns
+        -------
+        QuorumFuture
+            Resolves with a list of ``(server_id, reply_message)`` pairs.
+
+        Raises
+        ------
+        QuorumUnavailableError
+            Immediately, if fewer than ``threshold`` destinations are alive,
+            since in a reliable-channel crash-stop model the gather could
+            then never complete.
+        """
+        servers = list(servers)
+        request_id = self.new_request_id()
+        gather = QuorumFuture(self.sim, threshold=threshold,
+                              label=f"{self.pid}:{label}#{request_id}")
+        alive = [s for s in servers if not self.network.is_crashed(s)]
+        if len(alive) < threshold:
+            raise QuorumUnavailableError(
+                f"{self.pid}: {label} needs {threshold} replies but only "
+                f"{len(alive)} of {len(servers)} servers are alive"
+            )
+        self._pending_gathers[request_id] = gather
+
+        def cleanup(_fut: SimFuture) -> None:
+            self._pending_gathers.pop(request_id, None)
+
+        gather.add_done_callback(cleanup)
+        for server in servers:
+            self.send(server, make_message(request_id))
+        return gather
+
+    def open_gather(self, threshold: int, label: str = "gather") -> "tuple[int, QuorumFuture]":
+        """Register a reply-gathering future without sending any request.
+
+        Used when the replies will come from processes other than the ones
+        the request was sent to (e.g. the direct state transfer of Section 5,
+        where the request goes to the old configuration's servers but the
+        acks come from the new configuration's servers).  Returns the request
+        id to embed in outgoing messages and the future to await.
+        """
+        request_id = self.new_request_id()
+        gather = QuorumFuture(self.sim, threshold=threshold,
+                              label=f"{self.pid}:{label}#{request_id}")
+        self._pending_gathers[request_id] = gather
+        gather.add_done_callback(lambda _f: self._pending_gathers.pop(request_id, None))
+        return request_id, gather
+
+    def scatter_and_gather(
+        self,
+        messages: Dict[ProcessId, Callable[[int], "Message"]],
+        threshold: int,
+        label: str = "scatter",
+    ) -> QuorumFuture:
+        """Like :meth:`broadcast_and_gather` but with a per-destination message.
+
+        ``messages`` maps each destination to a factory receiving the request
+        id; used by erasure-coded ``put-data`` where every server receives its
+        own coded element.
+        """
+        request_id = self.new_request_id()
+        gather = QuorumFuture(self.sim, threshold=threshold,
+                              label=f"{self.pid}:{label}#{request_id}")
+        alive = [s for s in messages if not self.network.is_crashed(s)]
+        if len(alive) < threshold:
+            raise QuorumUnavailableError(
+                f"{self.pid}: {label} needs {threshold} replies but only "
+                f"{len(alive)} of {len(messages)} servers are alive"
+            )
+        self._pending_gathers[request_id] = gather
+        gather.add_done_callback(lambda _f: self._pending_gathers.pop(request_id, None))
+        for server, make_message in messages.items():
+            self.send(server, make_message(request_id))
+        return gather
+
+    # ------------------------------------------------------------ coroutines
+    def spawn(self, generator: Generator, label: str = "") -> Coroutine:
+        """Run a protocol coroutine owned by this process."""
+        coroutine = spawn(self.sim, generator, label=label or f"{self.pid}:coroutine")
+        self._coroutines.append(coroutine)
+        # Drop completed coroutines opportunistically to bound memory in long runs.
+        if len(self._coroutines) > 64:
+            self._coroutines = [c for c in self._coroutines if not c.done()]
+        return coroutine
+
+    def sleep(self, delay: float) -> Timer:
+        """Return a future that resolves ``delay`` time units from now."""
+        return Timer(self.sim, delay, label=f"{self.pid}:sleep")
+
+    # -------------------------------------------------------------- cosmetics
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} {self.pid} {status}>"

@@ -1,0 +1,29 @@
+"""Specification checking: histories, linearizability, DAP properties.
+
+The paper proves atomicity (Lynch's A1-A3 conditions, equivalent to
+linearizability of a read/write register) by hand; this package provides the
+machinery the test-suite uses to check it mechanically on recorded
+executions:
+
+* :mod:`repro.spec.history` -- records the invocation/response intervals and
+  results of high-level read/write operations.
+* :mod:`repro.spec.linearizability` -- a Wing-Gong style checker specialised
+  for multi-writer multi-reader registers.
+* :mod:`repro.spec.properties` -- records DAP invocations and checks the
+  consistency properties C1, C2 and C3 of Definition 2.
+"""
+
+from repro.spec.history import History, OperationRecord, OperationType
+from repro.spec.linearizability import check_linearizability, LinearizabilityResult
+from repro.spec.properties import DapRecorder, check_dap_properties, DapPropertyViolation
+
+__all__ = [
+    "History",
+    "OperationRecord",
+    "OperationType",
+    "check_linearizability",
+    "LinearizabilityResult",
+    "DapRecorder",
+    "check_dap_properties",
+    "DapPropertyViolation",
+]

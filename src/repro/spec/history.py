@@ -1,0 +1,155 @@
+"""Operation histories.
+
+A :class:`History` records, for every high-level read or write operation,
+its invocation time, response time, the process that issued it, and its
+result (the label of the value written or returned).  Histories are produced
+by the register clients and the ARES clients and consumed by the
+linearizability checker and by the latency-analysis benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.ids import ProcessId
+from repro.common.tags import Tag
+
+
+class OperationType(enum.Enum):
+    """The kind of a high-level operation."""
+
+    READ = "read"
+    WRITE = "write"
+    RECONFIG = "reconfig"
+
+
+@dataclass
+class OperationRecord:
+    """One high-level operation with its real-time interval and outcome."""
+
+    op_id: int
+    process: ProcessId
+    op_type: OperationType
+    invoked_at: float
+    responded_at: Optional[float] = None
+    #: Label of the value written (writes) or returned (reads).
+    value_label: Optional[str] = None
+    #: Tag associated with the operation's value, when the protocol exposes it.
+    tag: Optional[Tag] = None
+    #: For reconfig operations: the installed configuration id.
+    config_id: Optional[object] = None
+    failed: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """Whether the operation has a response event."""
+        return self.responded_at is not None and not self.failed
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Response minus invocation time, if complete."""
+        if self.responded_at is None:
+            return None
+        return self.responded_at - self.invoked_at
+
+    def precedes(self, other: "OperationRecord") -> bool:
+        """Real-time precedence ``self → other`` (response before invocation)."""
+        return self.responded_at is not None and self.responded_at < other.invoked_at
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        interval = (
+            f"[{self.invoked_at:.2f}, "
+            f"{'...' if self.responded_at is None else f'{self.responded_at:.2f}'}]"
+        )
+        return f"{self.op_type.value}({self.value_label}) by {self.process} {interval}"
+
+
+class History:
+    """A mutable collection of :class:`OperationRecord` entries."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, OperationRecord] = {}
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------- recording
+    def invoke(
+        self,
+        process: ProcessId,
+        op_type: OperationType,
+        at: float,
+        value_label: Optional[str] = None,
+    ) -> OperationRecord:
+        """Record an operation invocation; returns the (open) record."""
+        record = OperationRecord(
+            op_id=next(self._counter),
+            process=process,
+            op_type=op_type,
+            invoked_at=at,
+            value_label=value_label,
+        )
+        self._records[record.op_id] = record
+        return record
+
+    def respond(
+        self,
+        record: OperationRecord,
+        at: float,
+        value_label: Optional[str] = None,
+        tag: Optional[Tag] = None,
+        config_id: Optional[object] = None,
+    ) -> OperationRecord:
+        """Record the response of an operation."""
+        record.responded_at = at
+        if value_label is not None:
+            record.value_label = value_label
+        if tag is not None:
+            record.tag = tag
+        if config_id is not None:
+            record.config_id = config_id
+        return record
+
+    def fail(self, record: OperationRecord, at: float) -> OperationRecord:
+        """Mark an operation as failed (e.g. its client crashed)."""
+        record.responded_at = at
+        record.failed = True
+        return record
+
+    # --------------------------------------------------------------- queries
+    def operations(self, op_type: Optional[OperationType] = None,
+                   complete_only: bool = False) -> List[OperationRecord]:
+        """All records, optionally filtered by type and completeness."""
+        records = list(self._records.values())
+        if op_type is not None:
+            records = [r for r in records if r.op_type is op_type]
+        if complete_only:
+            records = [r for r in records if r.complete]
+        return sorted(records, key=lambda r: (r.invoked_at, r.op_id))
+
+    def reads(self, complete_only: bool = True) -> List[OperationRecord]:
+        """All (complete) read operations."""
+        return self.operations(OperationType.READ, complete_only=complete_only)
+
+    def writes(self, complete_only: bool = False) -> List[OperationRecord]:
+        """All write operations (incomplete writes matter for linearizability)."""
+        return self.operations(OperationType.WRITE, complete_only=complete_only)
+
+    def reconfigs(self, complete_only: bool = True) -> List[OperationRecord]:
+        """All (complete) reconfiguration operations."""
+        return self.operations(OperationType.RECONFIG, complete_only=complete_only)
+
+    def latencies(self, op_type: Optional[OperationType] = None) -> List[float]:
+        """Latencies of complete operations (optionally of one type)."""
+        return [r.latency for r in self.operations(op_type, complete_only=True)]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self.operations())
+
+    def describe(self) -> str:
+        """Multi-line rendering of the history ordered by invocation time."""
+        return "\n".join(str(record) for record in self.operations())

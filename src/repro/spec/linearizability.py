@@ -1,0 +1,175 @@
+"""Linearizability (atomicity) checking for MWMR read/write registers.
+
+The checker decides whether a recorded :class:`~repro.spec.history.History`
+of a single register is linearizable with respect to the sequential
+read/write register specification, i.e. whether the atomicity conditions
+A1-A3 of Section 2 admit a total order.
+
+Algorithm
+---------
+A Wing-Gong / Lowe-style depth-first search over operation orderings with
+memoisation on the *configuration* (set of linearized operation ids plus the
+current register value).  Two register-specific optimisations keep the search
+fast for the history sizes the tests produce (hundreds of operations):
+
+* operations are only candidates for linearization when no other pending
+  operation *must* precede them in real time (minimal-by-precedence rule);
+* incomplete writes (invoked but never acknowledged -- e.g. the writer
+  crashed) may either take effect or be dropped entirely, which the search
+  explores lazily by treating them as optional candidates.
+
+Histories are expected to use unique value labels per write (the workload
+generators guarantee this); reads returning the initial value are matched
+against the ``"v0"`` label of :data:`repro.common.values.BOTTOM_VALUE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.spec.history import History, OperationRecord, OperationType
+
+#: Label of the register's initial value.
+INITIAL_LABEL = "v0"
+
+
+@dataclass
+class LinearizabilityResult:
+    """The outcome of a linearizability check."""
+
+    ok: bool
+    #: A witness linearization (operation ids in order) when ``ok``.
+    order: List[int] = field(default_factory=list)
+    #: Human-readable explanation when not ``ok``.
+    reason: str = ""
+    #: Number of search states explored (for diagnostics / performance tests).
+    states_explored: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_linearizability(history: History, initial_label: str = INITIAL_LABEL,
+                          max_states: int = 2_000_000) -> LinearizabilityResult:
+    """Check that ``history`` is linearizable as a read/write register.
+
+    Parameters
+    ----------
+    history:
+        The recorded history.  Failed operations are ignored; incomplete
+        (pending) writes are treated as possibly-effective, incomplete reads
+        are ignored (a pending read imposes no constraint).
+    initial_label:
+        The label reads must return if they are linearized before every write.
+    max_states:
+        Safety valve for the search; the checker gives up (reporting failure
+        with an explanatory reason) if exceeded.
+    """
+    reads = [r for r in history.reads(complete_only=True)]
+    complete_writes = [w for w in history.writes() if w.complete]
+    pending_writes = [w for w in history.writes() if not w.complete and not w.failed]
+    operations: List[OperationRecord] = reads + complete_writes + pending_writes
+
+    # Quick structural check: every read must return the initial value or the
+    # value of some write present in the history.
+    known_labels = {w.value_label for w in complete_writes + pending_writes}
+    for read in reads:
+        if read.value_label != initial_label and read.value_label not in known_labels:
+            return LinearizabilityResult(
+                ok=False,
+                reason=(f"read {read} returned label {read.value_label!r} which no "
+                        "write in the history produced"),
+            )
+
+    by_id: Dict[int, OperationRecord] = {op.op_id: op for op in operations}
+    ids: List[int] = sorted(by_id)
+    # Precompute real-time predecessors: op -> set of ops that must precede it.
+    predecessors: Dict[int, Set[int]] = {op_id: set() for op_id in ids}
+    for a in operations:
+        for b in operations:
+            if a.op_id != b.op_id and a.precedes(b):
+                predecessors[b.op_id].add(a.op_id)
+
+    pending_write_ids = {w.op_id for w in pending_writes}
+    total_required = len(reads) + len(complete_writes)
+
+    # Depth-first search with memoisation on (linearized-set, current label).
+    seen: Set[Tuple[FrozenSet[int], Optional[str]]] = set()
+    states = {"count": 0}
+
+    def search(linearized: FrozenSet[int], current_label: str, done_required: int,
+               order: List[int]) -> Optional[List[int]]:
+        if done_required == total_required:
+            return order
+        key = (linearized, current_label)
+        if key in seen:
+            return None
+        seen.add(key)
+        states["count"] += 1
+        if states["count"] > max_states:
+            raise _SearchBudgetExceeded()
+
+        for op_id in ids:
+            if op_id in linearized:
+                continue
+            if predecessors[op_id] - linearized:
+                continue  # some real-time predecessor not linearized yet
+            op = by_id[op_id]
+            if op.op_type is OperationType.READ:
+                if op.value_label != current_label:
+                    continue
+                result = search(linearized | {op_id}, current_label,
+                                done_required + 1, order + [op_id])
+            else:
+                increment = 0 if op_id in pending_write_ids else 1
+                result = search(linearized | {op_id}, op.value_label,
+                                done_required + increment, order + [op_id])
+            if result is not None:
+                return result
+        return None
+
+    try:
+        witness = search(frozenset(), initial_label, 0, [])
+    except _SearchBudgetExceeded:
+        return LinearizabilityResult(
+            ok=False,
+            reason=f"search budget of {max_states} states exceeded",
+            states_explored=states["count"],
+        )
+    if witness is None:
+        return LinearizabilityResult(
+            ok=False,
+            reason="no linearization order satisfies the register specification",
+            states_explored=states["count"],
+        )
+    return LinearizabilityResult(ok=True, order=witness, states_explored=states["count"])
+
+
+class _SearchBudgetExceeded(Exception):
+    """Internal signal: the memoised search exceeded its state budget."""
+
+
+def check_tag_monotonicity(history: History) -> Optional[str]:
+    """Cheap necessary condition using protocol tags (Lemma 20).
+
+    For any two complete operations ``π1 → π2`` the tag of ``π2`` must be at
+    least the tag of ``π1``; when ``π2`` is a write its tag must be strictly
+    larger (a write always increments past every tag it discovered).
+    Returns ``None`` if the condition holds, otherwise a description of the
+    first violation.  This is a fast sanity check used alongside the full
+    linearizability search.
+    """
+    operations = [op for op in history.operations(complete_only=True)
+                  if op.tag is not None and op.op_type is not OperationType.RECONFIG]
+    operations.sort(key=lambda op: op.responded_at)
+    for i, first in enumerate(operations):
+        for second in operations[i + 1:]:
+            if not first.precedes(second):
+                continue
+            if second.tag < first.tag:
+                return (f"tag of {second} is smaller than the tag of the preceding {first}")
+            if second.op_type is OperationType.WRITE and not second.tag > first.tag:
+                return (f"write {second} does not have a strictly larger tag than the "
+                        f"preceding {first}")
+    return None

@@ -1,0 +1,205 @@
+"""DAP invocation recording and the C1/C2/C3 consistency properties.
+
+Definition 2 of the paper states two properties a DAP implementation must
+satisfy for the generic templates to be atomic (plus a third for template
+A2):
+
+C1  If ``put-data(⟨τ_φ, v_φ⟩)`` completes before a ``get-tag()`` /
+    ``get-data()`` starts, the latter returns a tag ``≥ τ_φ``.
+C2  Every ``get-data()`` returns a pair that some ``put-data`` put (and that
+    ``put-data`` was invoked before the ``get-data`` completed), or the
+    initial pair ``(t0, v0)``.
+C3  (for A2) ``get-data()`` results are monotone across non-overlapping calls.
+
+:class:`DapRecorder` captures every primitive invocation per configuration;
+:func:`check_dap_properties` verifies the three properties over the record.
+The properties are per configuration, matching the definition ("the three
+primitives defined over a configuration c").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.ids import ConfigId, ProcessId
+from repro.common.tags import BOTTOM_TAG, Tag, TagValue
+
+
+@dataclass
+class DapCall:
+    """One recorded DAP primitive invocation."""
+
+    call_id: int
+    config_id: ConfigId
+    process: ProcessId
+    primitive: str  # "get-tag" | "get-data" | "put-data"
+    invoked_at: float
+    argument: Optional[TagValue] = None
+    responded_at: Optional[float] = None
+    result: Optional[object] = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether the call has a recorded response."""
+        return self.responded_at is not None
+
+    def precedes(self, other: "DapCall") -> bool:
+        """Real-time precedence between two calls."""
+        return self.responded_at is not None and self.responded_at < other.invoked_at
+
+    # ------------------------------------------------------- result accessors
+    def result_tag(self) -> Optional[Tag]:
+        """The tag carried by the call's result (or argument for put-data)."""
+        if self.primitive == "put-data":
+            return self.argument.tag if self.argument is not None else None
+        if isinstance(self.result, Tag):
+            return self.result
+        if isinstance(self.result, TagValue):
+            return self.result.tag
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.primitive}@{self.config_id} by {self.process} "
+                f"[{self.invoked_at:.2f}, "
+                f"{'...' if self.responded_at is None else f'{self.responded_at:.2f}'}]")
+
+
+class _CallToken:
+    """Returned by :meth:`DapRecorder.start`; finishes the call on completion."""
+
+    def __init__(self, recorder: "DapRecorder", call: DapCall) -> None:
+        self._recorder = recorder
+        self.call = call
+
+    def finish(self, result: object) -> None:
+        """Record the response time and result of the call."""
+        self.call.responded_at = self._recorder._now()
+        self.call.result = result
+
+
+class DapRecorder:
+    """Records DAP calls; install as ``process.dap_recorder``."""
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        self._counter = itertools.count()
+        self.calls: List[DapCall] = []
+
+    def _now(self) -> float:
+        return self._sim.now
+
+    def start(self, config_id: ConfigId, process: ProcessId, primitive: str,
+              argument: Optional[TagValue] = None) -> _CallToken:
+        """Record the invocation of a primitive and return its completion token."""
+        call = DapCall(
+            call_id=next(self._counter),
+            config_id=config_id,
+            process=process,
+            primitive=primitive,
+            invoked_at=self._now(),
+            argument=argument,
+        )
+        self.calls.append(call)
+        return _CallToken(self, call)
+
+    # --------------------------------------------------------------- queries
+    def calls_for(self, config_id: Optional[ConfigId] = None,
+                  primitive: Optional[str] = None,
+                  complete_only: bool = True) -> List[DapCall]:
+        """Filtered view of the recorded calls."""
+        calls = self.calls
+        if config_id is not None:
+            calls = [c for c in calls if c.config_id == config_id]
+        if primitive is not None:
+            calls = [c for c in calls if c.primitive == primitive]
+        if complete_only:
+            calls = [c for c in calls if c.complete]
+        return list(calls)
+
+    def configurations(self) -> List[ConfigId]:
+        """All configuration ids that appear in the record."""
+        seen: Dict[ConfigId, None] = {}
+        for call in self.calls:
+            seen.setdefault(call.config_id, None)
+        return list(seen)
+
+
+@dataclass
+class DapPropertyViolation:
+    """A violation of one of the consistency properties."""
+
+    property_name: str
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.property_name}: {self.description}"
+
+
+def check_dap_properties(recorder: DapRecorder, check_c3: bool = False
+                         ) -> List[DapPropertyViolation]:
+    """Check C1, C2 (and optionally C3) for every configuration in the record.
+
+    Returns the list of violations found (empty when all properties hold).
+    """
+    violations: List[DapPropertyViolation] = []
+    for config_id in recorder.configurations():
+        puts = recorder.calls_for(config_id, "put-data", complete_only=False)
+        complete_puts = [c for c in puts if c.complete]
+        gets = recorder.calls_for(config_id, "get-data")
+        tags = recorder.calls_for(config_id, "get-tag")
+
+        # ----------------------------------------------------------------- C1
+        for put in complete_puts:
+            put_tag = put.result_tag()
+            for probe in gets + tags:
+                if not put.precedes(probe):
+                    continue
+                probe_tag = probe.result_tag()
+                if probe_tag is None or put_tag is None:
+                    continue
+                if not probe_tag >= put_tag:
+                    violations.append(DapPropertyViolation(
+                        "C1",
+                        f"{probe} returned tag {probe_tag} < {put_tag} put by "
+                        f"preceding {put}",
+                    ))
+
+        # ----------------------------------------------------------------- C2
+        for get in gets:
+            result = get.result
+            if not isinstance(result, TagValue):
+                continue
+            if result.tag == BOTTOM_TAG:
+                continue  # the initial pair is always allowed
+            matching = [
+                put for put in puts
+                if put.argument is not None and put.argument.tag == result.tag
+                and not (get.responded_at is not None
+                         and put.invoked_at > get.responded_at)
+            ]
+            if not matching:
+                violations.append(DapPropertyViolation(
+                    "C2",
+                    f"{get} returned tag {result.tag} but no put-data with that tag "
+                    "was invoked before the get-data completed",
+                ))
+
+        # ----------------------------------------------------------------- C3
+        if check_c3:
+            ordered = sorted(gets, key=lambda c: c.invoked_at)
+            for first, second in itertools.combinations(ordered, 2):
+                if not first.precedes(second):
+                    continue
+                tag_first = first.result_tag()
+                tag_second = second.result_tag()
+                if tag_first is None or tag_second is None:
+                    continue
+                if tag_second < tag_first:
+                    violations.append(DapPropertyViolation(
+                        "C3",
+                        f"{second} returned tag {tag_second} < {tag_first} returned "
+                        f"by preceding {first}",
+                    ))
+    return violations

@@ -1,0 +1,26 @@
+"""Workload generation.
+
+Closed-loop client drivers and canned scenarios used by the integration
+tests, the examples and the benchmark harness.  A workload drives the
+reader/writer (and optionally reconfigurer) clients of a deployment with a
+configurable operation mix, value size and think time, all drawn from the
+deployment's seeded simulator so runs are reproducible.
+"""
+
+from repro.workloads.generator import WorkloadSpec, ClosedLoopDriver, WorkloadResult
+from repro.workloads.scenarios import (
+    read_heavy_scenario,
+    write_heavy_scenario,
+    mixed_scenario,
+    reconfiguration_storm,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "ClosedLoopDriver",
+    "WorkloadResult",
+    "read_heavy_scenario",
+    "write_heavy_scenario",
+    "mixed_scenario",
+    "reconfiguration_storm",
+]

@@ -1,0 +1,123 @@
+"""Closed-loop workload driver.
+
+Each participating client runs a *session*: a loop of operations separated by
+an optional think time.  Writers issue writes of uniquely-labelled values of
+the configured size; readers issue reads.  The driver works against both
+:class:`~repro.registers.static.StaticRegisterDeployment` and
+:class:`~repro.core.deployment.AresDeployment` because both expose clients
+with ``read()`` / ``write(value)`` coroutines and a shared history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.values import Value
+from repro.spec.history import History, OperationType
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters of a closed-loop workload.
+
+    Attributes
+    ----------
+    operations_per_writer / operations_per_reader:
+        Number of operations each writer/reader session issues.
+    value_size:
+        Size in bytes of every written value.
+    think_time:
+        Mean think time between consecutive operations of one session (0
+        means back-to-back operations); the actual delay is exponential with
+        this mean, drawn from the simulator RNG.
+    """
+
+    operations_per_writer: int = 5
+    operations_per_reader: int = 5
+    value_size: int = 256
+    think_time: float = 0.0
+
+
+@dataclass
+class WorkloadResult:
+    """Summary statistics of a completed workload run."""
+
+    total_operations: int
+    read_latencies: List[float] = field(default_factory=list)
+    write_latencies: List[float] = field(default_factory=list)
+    duration: float = 0.0
+    errors: List[str] = field(default_factory=list)
+
+    @staticmethod
+    def _mean(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_read_latency(self) -> float:
+        """Average read latency in simulated time units."""
+        return self._mean(self.read_latencies)
+
+    @property
+    def mean_write_latency(self) -> float:
+        """Average write latency in simulated time units."""
+        return self._mean(self.write_latencies)
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per simulated time unit."""
+        if self.duration <= 0:
+            return 0.0
+        return self.total_operations / self.duration
+
+
+class ClosedLoopDriver:
+    """Drives a deployment's clients according to a :class:`WorkloadSpec`."""
+
+    def __init__(self, deployment, spec: Optional[WorkloadSpec] = None) -> None:
+        self.deployment = deployment
+        self.spec = spec or WorkloadSpec()
+        self.sim = deployment.sim
+
+    # ---------------------------------------------------------------- drive
+    def run(self) -> WorkloadResult:
+        """Run all sessions to completion and return the aggregated result."""
+        start_time = self.sim.now
+        sessions = []
+        for writer in self.deployment.writers:
+            sessions.append(writer.spawn(
+                self._writer_session(writer), label=f"{writer.pid}:session"))
+        for reader in self.deployment.readers:
+            sessions.append(reader.spawn(
+                self._reader_session(reader), label=f"{reader.pid}:session"))
+        self.sim.run()
+        errors = [repr(s.exception()) for s in sessions if s.exception() is not None]
+        history: History = self.deployment.history
+        result = WorkloadResult(
+            total_operations=len(history.operations(complete_only=True)),
+            read_latencies=history.latencies(OperationType.READ),
+            write_latencies=history.latencies(OperationType.WRITE),
+            duration=self.sim.now - start_time,
+            errors=errors,
+        )
+        return result
+
+    # -------------------------------------------------------------- sessions
+    def _writer_session(self, writer):
+        for _ in range(self.spec.operations_per_writer):
+            yield from self._think(writer)
+            value = writer.next_value(self.spec.value_size)
+            yield from writer.write(value)
+        return None
+
+    def _reader_session(self, reader):
+        for _ in range(self.spec.operations_per_reader):
+            yield from self._think(reader)
+            yield from reader.read()
+        return None
+
+    def _think(self, client):
+        if self.spec.think_time > 0:
+            delay = self.sim.exponential(self.spec.think_time)
+            yield client.sleep(delay)
+        return None

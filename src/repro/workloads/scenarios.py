@@ -1,0 +1,89 @@
+"""Canned workload scenarios.
+
+Each scenario builds a deployment, drives it with a specific mix and returns
+``(deployment, WorkloadResult)``.  The scenarios correspond to the workload
+families the ICDCS'19 evaluation reports on: read-heavy and write-heavy file
+access patterns, balanced mixes, and client traffic concurrent with a storm
+of reconfigurations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.deployment import AresDeployment, DeploymentSpec
+from repro.net.latency import UniformLatency
+from repro.workloads.generator import ClosedLoopDriver, WorkloadResult, WorkloadSpec
+
+
+def read_heavy_scenario(value_size: int = 1024, num_readers: int = 4,
+                        seed: int = 0) -> Tuple[AresDeployment, WorkloadResult]:
+    """Many readers, a single writer: the archival / content-serving pattern."""
+    deployment = AresDeployment(DeploymentSpec(
+        num_servers=6, initial_dap="treas", delta=4, num_writers=1,
+        num_readers=num_readers, num_reconfigurers=1,
+        latency=UniformLatency(1.0, 2.0), seed=seed,
+    ))
+    spec = WorkloadSpec(operations_per_writer=3, operations_per_reader=6,
+                        value_size=value_size)
+    result = ClosedLoopDriver(deployment, spec).run()
+    return deployment, result
+
+
+def write_heavy_scenario(value_size: int = 1024, num_writers: int = 4,
+                         seed: int = 0) -> Tuple[AresDeployment, WorkloadResult]:
+    """Many writers, a single reader: the telemetry-ingestion pattern."""
+    deployment = AresDeployment(DeploymentSpec(
+        num_servers=6, initial_dap="treas", delta=2 * num_writers, num_writers=num_writers,
+        num_readers=1, num_reconfigurers=1,
+        latency=UniformLatency(1.0, 2.0), seed=seed,
+    ))
+    spec = WorkloadSpec(operations_per_writer=6, operations_per_reader=3,
+                        value_size=value_size)
+    result = ClosedLoopDriver(deployment, spec).run()
+    return deployment, result
+
+
+def mixed_scenario(value_size: int = 512, clients_per_role: int = 3,
+                   seed: int = 0) -> Tuple[AresDeployment, WorkloadResult]:
+    """Balanced readers and writers."""
+    deployment = AresDeployment(DeploymentSpec(
+        num_servers=6, initial_dap="treas", delta=2 * clients_per_role,
+        num_writers=clients_per_role, num_readers=clients_per_role,
+        num_reconfigurers=1, latency=UniformLatency(1.0, 2.0), seed=seed,
+    ))
+    spec = WorkloadSpec(operations_per_writer=4, operations_per_reader=4,
+                        value_size=value_size, think_time=1.0)
+    result = ClosedLoopDriver(deployment, spec).run()
+    return deployment, result
+
+
+def reconfiguration_storm(num_reconfigs: int = 3, value_size: int = 512,
+                          direct_state_transfer: bool = False,
+                          seed: int = 0) -> Tuple[AresDeployment, WorkloadResult]:
+    """Client traffic concurrent with a sequence of reconfigurations.
+
+    Reconfigurations alternate between TREAS and ABD configurations over
+    fresh server sets, exercising the DAP-adaptivity of ARES (Remark 22)
+    while reads and writes are in flight.
+    """
+    deployment = AresDeployment(DeploymentSpec(
+        num_servers=5, initial_dap="treas", delta=8, num_writers=2, num_readers=2,
+        num_reconfigurers=1, latency=UniformLatency(1.0, 2.0), seed=seed,
+        direct_state_transfer=direct_state_transfer,
+    ))
+    reconfigurer = deployment.reconfigurers[0]
+
+    def reconfig_session():
+        for index in range(num_reconfigs):
+            dap = "treas" if index % 2 == 0 else "abd"
+            fresh = 5 if dap == "treas" else 3
+            configuration = deployment.make_configuration(dap=dap, fresh_servers=fresh)
+            yield from reconfigurer.reconfig(configuration)
+        return None
+
+    reconfigurer.spawn(reconfig_session(), label="reconfig-storm")
+    spec = WorkloadSpec(operations_per_writer=4, operations_per_reader=4,
+                        value_size=value_size, think_time=2.0)
+    result = ClosedLoopDriver(deployment, spec).run()
+    return deployment, result

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.ids import server_id
+from repro.net.latency import FixedLatency, UniformLatency
+from repro.net.network import Network
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """A network with unit fixed latency over the ``sim`` fixture."""
+    return Network(sim, latency=FixedLatency(1.0))
+
+
+@pytest.fixture
+def uniform_network(sim: Simulator) -> Network:
+    """A network with uniform latency in [1, 3]."""
+    return Network(sim, latency=UniformLatency(1.0, 3.0))
+
+
+@pytest.fixture
+def server_ids():
+    """Five server process ids."""
+    return [server_id(i) for i in range(5)]

@@ -1,0 +1,212 @@
+"""Tests for the ARES reconfiguration service (Algorithms 4, 5, 6).
+
+Covers the sequence-traversal actions, the four phases of ``reconfig``, the
+configuration-sequence properties the paper proves (Uniqueness, Prefix,
+Progress -- Lemmas 13-16) and behaviour under concurrent reconfigurers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.ids import config_id, server_id
+from repro.common.values import Value
+from repro.config.sequence import Status
+from repro.core.deployment import AresDeployment, DeploymentSpec
+from repro.net.latency import UniformLatency
+from repro.spec.history import OperationType
+from repro.spec.linearizability import check_linearizability
+
+
+def make_deployment(**overrides):
+    defaults = dict(num_servers=5, initial_dap="treas", delta=4, num_writers=2,
+                    num_readers=2, num_reconfigurers=2, seed=0,
+                    latency=UniformLatency(1.0, 2.0))
+    defaults.update(overrides)
+    return AresDeployment(DeploymentSpec(**defaults))
+
+
+class TestSequenceTraversal:
+    def test_read_config_on_fresh_system_returns_initial_only(self):
+        dep = make_deployment()
+        client = dep.readers[0]
+        handle = client.spawn(client.read_config(client.cseq))
+        seq = dep.sim.run_until_complete(handle)
+        assert len(seq) == 1
+        assert seq[0].config.cfg_id == dep.initial_configuration.cfg_id
+
+    def test_read_config_discovers_installed_configuration(self):
+        dep = make_deployment()
+        new_cfg = dep.make_configuration(dap="treas", fresh_servers=6, k=4)
+        dep.reconfig(new_cfg, 0)
+        client = dep.readers[0]
+        handle = client.spawn(client.read_config(client.cseq))
+        seq = dep.sim.run_until_complete(handle)
+        assert len(seq) == 2
+        assert seq[1].config.cfg_id == new_cfg.cfg_id
+        assert seq[1].status is Status.FINALIZED
+
+    def test_put_config_installs_nextc_at_quorum(self):
+        dep = make_deployment()
+        client = dep.readers[0]
+        new_cfg = dep.make_configuration(dap="abd", fresh_servers=3)
+        from repro.config.sequence import ConfigRecord
+
+        record = ConfigRecord(new_cfg, Status.PENDING)
+        handle = client.spawn(client.put_config(dep.initial_configuration, record))
+        dep.sim.run_until_complete(handle)
+        holders = sum(
+            1 for server in dep.servers.values()
+            if server.next_config.get(dep.initial_configuration.cfg_id) is not None
+        )
+        assert holders >= dep.initial_configuration.consensus_quorums.quorum_size
+
+
+class TestReconfigOperation:
+    def test_reconfig_installs_and_finalizes(self):
+        dep = make_deployment()
+        new_cfg = dep.make_configuration(dap="treas", fresh_servers=6, k=4)
+        installed = dep.reconfig(new_cfg, 0)
+        assert installed.cfg_id == new_cfg.cfg_id
+        reconfigurer = dep.reconfigurers[0]
+        assert reconfigurer.cseq.nu == 1
+        assert reconfigurer.cseq[1].status is Status.FINALIZED
+        assert reconfigurer.completed_reconfigs == 1
+
+    def test_reconfig_transfers_latest_value(self):
+        dep = make_deployment()
+        dep.write(Value.of_size(256, label="before-reconfig"), 0)
+        new_cfg = dep.make_configuration(dap="treas", fresh_servers=6, k=4)
+        dep.reconfig(new_cfg, 0)
+        # The new configuration's servers now hold the value: a reader that
+        # only contacts the new configuration (fresh client state) finds it.
+        assert dep.read(0).label == "before-reconfig"
+        by_config = dep.storage_by_configuration()
+        assert by_config.get(new_cfg.cfg_id, 0) > 0
+
+    def test_reconfig_across_dap_kinds(self):
+        dep = make_deployment()
+        dep.write(Value.of_size(128, label="v1"), 0)
+        abd_cfg = dep.make_configuration(dap="abd", fresh_servers=3)
+        dep.reconfig(abd_cfg, 0)
+        assert dep.read(0).label == "v1"
+        dep.write(Value.of_size(128, label="v2"), 1)
+        treas_cfg = dep.make_configuration(dap="treas", fresh_servers=6, k=4)
+        dep.reconfig(treas_cfg, 1)
+        assert dep.read(1).label == "v2"
+
+    def test_reconfig_to_smaller_and_larger_configurations(self):
+        dep = make_deployment(num_servers=9)
+        dep.write(Value.of_size(64, label="x"), 0)
+        smaller = dep.make_configuration(dap="treas",
+                                         servers=[server_id(i) for i in range(4)], k=3)
+        dep.reconfig(smaller, 0)
+        assert dep.read(0).label == "x"
+        larger = dep.make_configuration(dap="treas", fresh_servers=12, k=8)
+        dep.reconfig(larger, 1)
+        assert dep.read(1).label == "x"
+
+    def test_multiple_sequential_reconfigs_grow_the_sequence(self):
+        dep = make_deployment()
+        for round_number in range(3):
+            cfg = dep.make_configuration(dap="treas", fresh_servers=5, k=4)
+            dep.reconfig(cfg, 0)
+        assert dep.reconfigurers[0].cseq.nu == 3
+        assert dep.reconfigurers[0].cseq.mu == 3
+        # Clients discover the whole chain.
+        dep.write(Value.of_size(32, label="final"), 0)
+        assert dep.read(0).label == "final"
+
+    def test_reconfig_history_records_latency(self):
+        dep = make_deployment()
+        cfg = dep.make_configuration(dap="treas", fresh_servers=5, k=4)
+        dep.reconfig(cfg, 0)
+        recs = dep.history.reconfigs()
+        assert len(recs) == 1
+        assert recs[0].latency > 0
+        assert recs[0].config_id == cfg.cfg_id
+
+
+class TestConcurrentReconfigurations:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_contending_reconfigurers_agree_on_successor(self, seed):
+        dep = make_deployment(seed=seed)
+        cfg_a = dep.make_configuration(dap="treas", fresh_servers=5, k=4)
+        cfg_b = dep.make_configuration(dap="abd", fresh_servers=3)
+        handle_a = dep.spawn_reconfig(cfg_a, 0)
+        handle_b = dep.spawn_reconfig(cfg_b, 1)
+        dep.run()
+        assert handle_a.exception() is None and handle_b.exception() is None
+        seq_a = dep.reconfigurers[0].cseq
+        seq_b = dep.reconfigurers[1].cseq
+        # Configuration Uniqueness (Lemma 13): same index, same configuration.
+        for index in range(1, min(seq_a.nu, seq_b.nu) + 1):
+            assert seq_a[index].config.cfg_id == seq_b[index].config.cfg_id
+        # Index 1 was decided by consensus: it is one of the two proposals.
+        assert seq_a[1].config.cfg_id in {cfg_a.cfg_id, cfg_b.cfg_id}
+
+    def test_sequences_are_prefix_related(self):
+        dep = make_deployment()
+        cfg_a = dep.make_configuration(dap="treas", fresh_servers=5, k=4)
+        dep.reconfig(cfg_a, 0)
+        client = dep.readers[0]
+        handle = client.spawn(client.read_config(client.cseq))
+        seq_after_one = dep.sim.run_until_complete(handle).copy()
+        cfg_b = dep.make_configuration(dap="abd", fresh_servers=3)
+        dep.reconfig(cfg_b, 1)
+        handle = client.spawn(client.read_config(client.cseq))
+        seq_after_two = dep.sim.run_until_complete(handle)
+        # Configuration Prefix (Lemma 14 / Theorem 16b).
+        assert seq_after_one.is_prefix_of(seq_after_two)
+        # Configuration Progress (Lemma 15): µ is monotone.
+        assert seq_after_one.mu <= seq_after_two.mu
+
+    def test_operations_remain_atomic_under_concurrent_reconfig(self):
+        dep = make_deployment(delta=8, seed=5)
+        ops = []
+        for index in range(2):
+            ops.append(dep.spawn_write(dep.writers[index].next_value(64), index))
+            ops.append(dep.spawn_read(index))
+        cfg_a = dep.make_configuration(dap="treas", fresh_servers=5, k=4)
+        cfg_b = dep.make_configuration(dap="treas", fresh_servers=6, k=4)
+        ops.append(dep.spawn_reconfig(cfg_a, 0))
+        ops.append(dep.spawn_reconfig(cfg_b, 1))
+        dep.run()
+        assert all(op.exception() is None for op in ops)
+        result = check_linearizability(dep.history)
+        assert result.ok, result.reason
+
+
+class TestServerSideState:
+    def test_next_config_is_write_once_finalized(self):
+        dep = make_deployment()
+        cfg = dep.make_configuration(dap="treas", fresh_servers=5, k=4)
+        dep.reconfig(cfg, 0)
+        initial_id = dep.initial_configuration.cfg_id
+        finalized_holders = [
+            server for server in dep.servers.values()
+            if server.next_config.get(initial_id) is not None
+            and server.next_config[initial_id].status is Status.FINALIZED
+        ]
+        assert finalized_holders
+        # A later WRITE-CONFIG with a pending record must not downgrade it.
+        from repro.config.sequence import ConfigRecord
+        from repro.net.message import request
+        from repro.core.server import WRITE_CONFIG
+
+        victim = finalized_holders[0]
+        bogus = ConfigRecord(cfg, Status.PENDING)
+        victim.on_message(dep.writers[0].pid,
+                          request(WRITE_CONFIG, 999, config_id=initial_id, record=bogus))
+        assert victim.next_config[initial_id].status is Status.FINALIZED
+
+    def test_servers_host_dap_state_per_configuration(self):
+        dep = make_deployment()
+        dep.write(Value.of_size(64, label="x"), 0)
+        cfg = dep.make_configuration(dap="treas", fresh_servers=5, k=4)
+        dep.reconfig(cfg, 0)
+        dep.write(Value.of_size(64, label="y"), 0)
+        new_server = dep.servers[cfg.servers[0]]
+        assert cfg.cfg_id in new_server.member_configurations()
+        old_server = dep.servers[dep.initial_configuration.servers[0]]
+        assert dep.initial_configuration.cfg_id in old_server.member_configurations()

@@ -1,0 +1,174 @@
+"""Unit tests for the TREAS DAP (Algorithms 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import QuorumUnavailableError
+from repro.common.ids import config_id, server_id, writer_id
+from repro.common.tags import BOTTOM_TAG, Tag, TagValue
+from repro.common.values import Value
+from repro.config.configuration import Configuration
+from repro.dap.treas import PUT_DATA, QUERY_LIST, QUERY_TAG, TreasServerState
+from repro.net.message import request
+from repro.registers.static import StaticRegisterDeployment
+from repro.spec.properties import check_dap_properties
+
+
+def make_config(n=6, k=4, delta=2):
+    return Configuration.treas(config_id(0), [server_id(i) for i in range(n)], k=k, delta=delta)
+
+
+class TestTreasServerState:
+    def test_initial_list_holds_bottom_element(self):
+        cfg = make_config()
+        state = TreasServerState(cfg, server_id(2))
+        assert BOTTOM_TAG in state.list
+        assert state.list[BOTTOM_TAG] is not None
+        assert state.list[BOTTOM_TAG].index == 2
+
+    def test_insert_keeps_coded_element(self):
+        cfg = make_config()
+        state = TreasServerState(cfg, server_id(0))
+        value = Value.of_size(40, label="x")
+        element = cfg.code.encode(value)[0]
+        tag = Tag(1, writer_id(0))
+        state.insert(tag, element)
+        assert state.coded_element_for(tag) == element
+        assert state.max_known_tag() == tag
+
+    def test_garbage_collection_keeps_delta_plus_one_elements(self):
+        cfg = make_config(delta=2)
+        state = TreasServerState(cfg, server_id(0))
+        value = Value.of_size(40, label="x")
+        element = cfg.code.encode(value)[0]
+        tags = [Tag(i, writer_id(0)) for i in range(1, 7)]
+        for tag in tags:
+            state.insert(tag, element)
+        with_elements = [t for t, e in state.list.items() if e is not None]
+        assert len(with_elements) == cfg.delta + 1
+        # The retained elements are exactly the delta+1 highest tags.
+        assert sorted(with_elements) == sorted(tags)[-3:]
+        # Trimmed tags are still present (as ⊥) so get-tag still sees them.
+        assert all(t in state.list for t in tags)
+        assert state.max_known_tag() == tags[-1]
+
+    def test_storage_cost_matches_theorem3(self):
+        # Total storage across servers is (delta+1) * n/k value units once
+        # enough distinct tags have been written.
+        n, k, delta = 6, 4, 2
+        cfg = make_config(n=n, k=k, delta=delta)
+        value_size = 400
+        states = [TreasServerState(cfg, server_id(i)) for i in range(n)]
+        for z in range(1, 10):
+            value = Value.of_size(value_size, label=f"w{z}")
+            elements = cfg.code.encode(value)
+            for i, state in enumerate(states):
+                state.insert(Tag(z, writer_id(0)), elements[i])
+        total = sum(state.storage_data_bytes() for state in states)
+        expected = (delta + 1) * n / k * value_size
+        assert total == pytest.approx(expected)
+
+    def test_duplicate_insert_does_not_replace(self):
+        cfg = make_config()
+        state = TreasServerState(cfg, server_id(0))
+        tag = Tag(1, writer_id(0))
+        first = cfg.code.encode(Value.of_size(10, label="first"))[0]
+        second = cfg.code.encode(Value.of_size(10, label="second"))[0]
+        state.insert(tag, first)
+        state.insert(tag, second)
+        assert state.coded_element_for(tag).label == "first"
+
+    def test_query_tag_and_list_handlers(self):
+        cfg = make_config()
+        state = TreasServerState(cfg, server_id(0))
+        tag_reply = state.handle(writer_id(0), request(QUERY_TAG, 1))
+        assert tag_reply["tag"] == BOTTOM_TAG
+        list_reply = state.handle(writer_id(0), request(QUERY_LIST, 2))
+        assert len(list_reply["list"]) == 1
+        element = cfg.code.encode(Value.of_size(40, label="x"))[0]
+        state.handle(writer_id(0), request(PUT_DATA, 3, tag=Tag(1, writer_id(0)), element=element))
+        list_reply = state.handle(writer_id(0), request(QUERY_LIST, 4))
+        assert len(list_reply["list"]) == 2
+        assert list_reply.data_bytes == element.size  # v0's element is empty
+
+
+class TestTreasPrimitives:
+    def _deployment(self, n=6, k=4, delta=2, **kwargs):
+        kwargs.setdefault("record_dap", True)
+        kwargs.setdefault("num_writers", 2)
+        kwargs.setdefault("num_readers", 2)
+        return StaticRegisterDeployment.treas(num_servers=n, k=k, delta=delta, **kwargs)
+
+    def test_put_then_get_round_trip(self):
+        dep = self._deployment()
+        writer, reader = dep.writers[0], dep.readers[0]
+        pair = TagValue(Tag(1, writer.pid), Value.of_size(120, label="hello"))
+        dep.sim.run_until_complete(writer.spawn(writer.dap.put_data(pair)))
+        result = dep.sim.run_until_complete(reader.spawn(reader.dap.get_data()))
+        assert result.tag == pair.tag
+        assert result.value.payload == pair.value.payload
+
+    def test_get_tag_sees_completed_put(self):
+        dep = self._deployment()
+        writer = dep.writers[0]
+        pair = TagValue(Tag(7, writer.pid), Value.of_size(16, label="x"))
+        dep.sim.run_until_complete(writer.spawn(writer.dap.put_data(pair)))
+        tag = dep.sim.run_until_complete(dep.readers[0].spawn(dep.readers[0].dap.get_tag()))
+        assert tag >= pair.tag
+
+    def test_initial_get_data_returns_bottom_pair(self):
+        dep = self._deployment()
+        result = dep.sim.run_until_complete(dep.readers[0].spawn(dep.readers[0].dap.get_data()))
+        assert result.tag == BOTTOM_TAG
+        assert result.value.size == 0
+
+    def test_survives_f_server_crashes(self):
+        # f = (n - k) / 2 = 1 for [6, 4]
+        dep = self._deployment(n=6, k=4)
+        dep.servers[server_id(5)].crash()
+        dep.write(dep.writers[0].next_value(64), 0)
+        value = dep.read(0)
+        assert value.label == "writer-0:1"
+
+    def test_put_data_fails_fast_beyond_crash_tolerance(self):
+        dep = self._deployment(n=6, k=4)
+        for index in [3, 4, 5]:
+            dep.servers[server_id(index)].crash()
+        writer = dep.writers[0]
+        pair = TagValue(Tag(1, writer.pid), Value.of_size(8, label="x"))
+        handle = writer.spawn(writer.dap.put_data(pair))
+        dep.sim.run()
+        assert isinstance(handle.exception(), QuorumUnavailableError)
+
+    def test_fragment_traffic_is_value_size_over_k(self):
+        n, k = 6, 4
+        dep = self._deployment(n=n, k=k)
+        value_size = 4000
+        writer = dep.writers[0]
+        pair = TagValue(Tag(1, writer.pid), Value.of_size(value_size, label="x"))
+        dep.sim.run_until_complete(writer.spawn(writer.dap.put_data(pair)))
+        put_traffic = dep.stats.by_kind(PUT_DATA)
+        assert put_traffic.messages == n
+        assert put_traffic.data_bytes == n * (value_size // k)
+
+    def test_dap_properties_hold(self):
+        dep = self._deployment(delta=4)
+        for _ in range(3):
+            dep.write(dep.writers[0].next_value(32), 0)
+            dep.read(0)
+            dep.write(dep.writers[1].next_value(32), 1)
+            dep.read(1)
+        assert check_dap_properties(dep.dap_recorder) == []
+
+    def test_read_with_many_concurrent_writes_is_garbage_collection_safe(self):
+        # delta is set to cover the number of concurrent writers, so reads
+        # must stay live even when all writers run concurrently.
+        dep = self._deployment(n=6, k=4, delta=4, num_writers=4, num_readers=2)
+        ops = []
+        for index in range(4):
+            ops.append(dep.spawn_write(dep.writers[index].next_value(48), index))
+        for index in range(2):
+            ops.append(dep.spawn_read(index))
+        dep.run()
+        assert all(op.exception() is None for op in ops)

@@ -1,0 +1,245 @@
+"""Unit and property-based tests for the erasure-coding substrate."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import DecodeError
+from repro.common.values import Value
+from repro.erasure.gf256 import (
+    FIELD_SIZE,
+    gf_add,
+    gf_div,
+    gf_inverse,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+)
+from repro.erasure.matrix import (
+    identity_matrix,
+    matrix_invert,
+    matrix_multiply,
+    systematic_generator,
+    vandermonde_matrix,
+)
+from repro.erasure.replication import ReplicationCode
+from repro.erasure.rs import ReedSolomonCode
+from repro.erasure.striping import join_shards, shard_length, split_into_shards
+
+field_elements = st.integers(0, 255)
+nonzero_elements = st.integers(1, 255)
+
+
+class TestGF256:
+    @given(field_elements, field_elements)
+    def test_addition_is_commutative_and_self_inverse(self, a, b):
+        assert gf_add(a, b) == gf_add(b, a)
+        assert gf_add(gf_add(a, b), b) == a
+
+    @given(field_elements, field_elements, field_elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(field_elements, field_elements, field_elements)
+    def test_distributivity(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(nonzero_elements)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inverse(a)) == 1
+
+    @given(field_elements, nonzero_elements)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf_div(gf_mul(a, b), b) == a
+
+    def test_zero_division_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf_inverse(0)
+
+    def test_multiplicative_identity(self):
+        for a in range(FIELD_SIZE):
+            assert gf_mul(a, 1) == a
+            assert gf_mul(a, 0) == 0
+
+    @given(nonzero_elements, st.integers(0, 10))
+    def test_pow_matches_repeated_multiplication(self, a, exponent):
+        expected = 1
+        for _ in range(exponent):
+            expected = gf_mul(expected, a)
+        assert gf_pow(a, exponent) == expected
+
+    @given(field_elements, st.binary(min_size=0, max_size=64))
+    def test_vectorised_multiplication_matches_scalar(self, scalar, data):
+        array = np.frombuffer(data, dtype=np.uint8).copy()
+        vectorised = gf_mul_bytes(scalar, array)
+        scalarised = np.array([gf_mul(scalar, int(x)) for x in array], dtype=np.uint8)
+        assert np.array_equal(vectorised, scalarised)
+
+
+class TestMatrices:
+    def test_identity_inverts_to_itself(self):
+        eye = identity_matrix(4)
+        assert np.array_equal(matrix_invert(eye), eye)
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 5])
+    def test_inverse_times_matrix_is_identity(self, size):
+        matrix = vandermonde_matrix(size, size)
+        inverse = matrix_invert(matrix)
+        assert np.array_equal(matrix_multiply(inverse, matrix), identity_matrix(size))
+
+    def test_singular_matrix_rejected(self):
+        singular = np.zeros((3, 3), dtype=np.uint8)
+        with pytest.raises(DecodeError):
+            matrix_invert(singular)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_invert(np.zeros((2, 3), dtype=np.uint8))
+
+    @pytest.mark.parametrize("n,k", [(3, 2), (5, 3), (7, 5), (9, 6)])
+    def test_systematic_generator_every_k_rows_invertible(self, n, k):
+        generator = systematic_generator(n, k)
+        assert np.array_equal(generator[:k, :], identity_matrix(k))
+        for rows in itertools.combinations(range(n), k):
+            submatrix = generator[list(rows), :]
+            matrix_invert(submatrix)  # must not raise: MDS property
+
+    def test_vandermonde_too_large(self):
+        with pytest.raises(ValueError):
+            vandermonde_matrix(300, 2)
+
+
+class TestStriping:
+    def test_shard_length_ceil(self):
+        assert shard_length(10, 3) == 4
+        assert shard_length(9, 3) == 3
+        assert shard_length(0, 3) == 0
+
+    def test_shard_length_invalid_k(self):
+        with pytest.raises(ValueError):
+            shard_length(10, 0)
+
+    @given(st.binary(min_size=0, max_size=200), st.integers(1, 8))
+    def test_split_join_round_trip(self, payload, k):
+        shards = split_into_shards(payload, k)
+        assert len(shards) == k
+        assert len({len(s) for s in shards}) <= 1
+        assert join_shards(shards, len(payload)) == payload
+
+
+class TestReedSolomon:
+    @pytest.mark.parametrize("n,k", [(3, 2), (5, 3), (6, 4), (9, 6), (11, 7)])
+    def test_any_k_fragments_decode(self, n, k):
+        code = ReedSolomonCode(n, k)
+        value = Value(payload=bytes(range(256)) * 4, label="payload")
+        elements = code.encode(value)
+        assert len(elements) == n
+        for subset in itertools.combinations(elements, k):
+            decoded = code.decode(subset)
+            assert decoded.payload == value.payload
+
+    def test_fragment_size_is_value_size_over_k(self):
+        code = ReedSolomonCode(6, 3)
+        value = Value.of_size(999)
+        elements = code.encode(value)
+        assert all(e.size == 333 for e in elements)
+        assert code.fragment_size(999) == 333
+
+    def test_fewer_than_k_fragments_rejected(self):
+        code = ReedSolomonCode(5, 3)
+        elements = code.encode(Value.of_size(100))
+        with pytest.raises(DecodeError):
+            code.decode(elements[:2])
+
+    def test_duplicate_indices_do_not_count_twice(self):
+        code = ReedSolomonCode(5, 3)
+        elements = code.encode(Value.of_size(90))
+        with pytest.raises(DecodeError):
+            code.decode([elements[0], elements[0], elements[0]])
+
+    def test_inconsistent_fragment_sizes_rejected(self):
+        code = ReedSolomonCode(4, 2)
+        good = code.encode(Value.of_size(100))
+        bad = code.encode(Value.of_size(50))
+        with pytest.raises(DecodeError):
+            code.decode([good[0], bad[1]])
+
+    def test_out_of_range_index_rejected(self):
+        code = ReedSolomonCode(4, 2)
+        elements = ReedSolomonCode(6, 2).encode(Value.of_size(100))
+        with pytest.raises(DecodeError):
+            code.decode([elements[5], elements[4]])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(2, 3)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(0, 0)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(300, 100)
+
+    def test_storage_overhead(self):
+        assert ReedSolomonCode(6, 4).storage_overhead() == pytest.approx(1.5)
+        assert ReedSolomonCode(3, 1).storage_overhead() == pytest.approx(3.0)
+
+    def test_empty_value(self):
+        code = ReedSolomonCode(5, 3)
+        elements = code.encode(Value(payload=b"", label="empty"))
+        assert code.decode(elements[:3]).payload == b""
+
+    def test_label_preserved(self):
+        code = ReedSolomonCode(4, 2)
+        elements = code.encode(Value.of_size(10, label="hello"))
+        assert code.decode(elements[2:]).label == "hello"
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=512), st.integers(2, 9))
+    def test_round_trip_property(self, payload, n):
+        k = max(1, (2 * n) // 3)
+        code = ReedSolomonCode(n, k)
+        value = Value(payload=payload, label="prop")
+        elements = code.encode(value)
+        # decode from the last k elements (a mix of data and parity shards)
+        assert code.decode(elements[n - k:]).payload == payload
+
+    def test_parameters_dict(self):
+        assert ReedSolomonCode(5, 3).parameters() == {"n": 5, "k": 3}
+
+
+class TestReplication:
+    def test_every_copy_is_the_full_value(self):
+        code = ReplicationCode(4)
+        value = Value.of_size(77, label="x")
+        elements = code.encode(value)
+        assert len(elements) == 4
+        assert all(e.size == 77 for e in elements)
+
+    def test_decode_from_any_single_copy(self):
+        code = ReplicationCode(3)
+        value = Value.of_size(50, label="x")
+        elements = code.encode(value)
+        for element in elements:
+            assert code.decode([element]).payload == value.payload
+
+    def test_decode_with_no_copies(self):
+        with pytest.raises(DecodeError):
+            ReplicationCode(3).decode([])
+
+    def test_is_decodable(self):
+        code = ReplicationCode(3)
+        elements = code.encode(Value.of_size(5))
+        assert code.is_decodable(elements[:1])
+        assert not code.is_decodable([])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ReplicationCode(0)
+
+    def test_storage_overhead_equals_n(self):
+        assert ReplicationCode(5).storage_overhead() == pytest.approx(5.0)

@@ -1,0 +1,29 @@
+"""Smoke tests ensuring every example script runs to completion.
+
+The examples double as end-to-end acceptance tests of the public API: each
+one is executed in-process (so coverage tools see it) and must finish without
+raising.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=[s.stem for s in EXAMPLE_SCRIPTS])
+def test_example_runs_to_completion(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {s.stem for s in EXAMPLE_SCRIPTS}
+    assert {"quickstart", "erasure_vs_replication",
+            "rolling_reconfiguration", "failure_and_recovery"} <= names

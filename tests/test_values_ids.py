@@ -1,0 +1,105 @@
+"""Unit tests for values and process/configuration identifiers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.ids import (
+    ConfigId,
+    ProcessId,
+    Role,
+    config_id,
+    parse_any_id,
+    reader_id,
+    reconfigurer_id,
+    server_id,
+    writer_id,
+)
+from repro.common.values import BOTTOM_VALUE, Value
+
+
+class TestValue:
+    def test_size_matches_payload(self):
+        value = Value(payload=b"abcde", label="x")
+        assert value.size == 5
+
+    def test_of_size(self):
+        value = Value.of_size(1024, label="big")
+        assert value.size == 1024
+        assert value.label == "big"
+
+    def test_of_size_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Value.of_size(-1)
+
+    def test_text_round_trip(self):
+        value = Value.from_text("hello world")
+        assert value.as_text() == "hello world"
+        assert value.label == "hello world"
+
+    def test_bottom_value(self):
+        assert BOTTOM_VALUE.size == 0
+        assert BOTTOM_VALUE.label == "v0"
+
+    @given(st.integers(0, 4096))
+    def test_of_size_always_exact(self, size):
+        assert Value.of_size(size).size == size
+
+
+class TestProcessIds:
+    def test_roles(self):
+        assert writer_id(0).role is Role.WRITER
+        assert reader_id(1).role is Role.READER
+        assert reconfigurer_id(2).role is Role.RECONFIGURER
+        assert server_id(3).role is Role.SERVER
+
+    def test_is_client(self):
+        assert Role.WRITER.is_client()
+        assert Role.READER.is_client()
+        assert Role.RECONFIGURER.is_client()
+        assert not Role.SERVER.is_client()
+
+    def test_equality_and_hash(self):
+        assert writer_id(1) == writer_id(1)
+        assert writer_id(1) != writer_id(2)
+        assert writer_id(1) != server_id(1)
+        assert len({writer_id(1), writer_id(1), writer_id(2)}) == 2
+
+    def test_total_order_is_deterministic(self):
+        ids = [writer_id(3), writer_id(1), server_id(0), reader_id(2)]
+        ordered = sorted(ids)
+        assert ordered == sorted(ids)  # stable under repetition
+        assert writer_id(1) < writer_id(2)
+
+    def test_name(self):
+        assert writer_id(4).name == "writer-4"
+        assert server_id(0).name == "server-0"
+
+
+class TestConfigIds:
+    def test_config_id_factory(self):
+        assert config_id(3) == ConfigId("c3")
+        assert str(config_id(3)) == "c3"
+
+    def test_ordering(self):
+        assert ConfigId("a") < ConfigId("b")
+
+
+class TestParseAnyId:
+    def test_round_trip_process(self):
+        assert parse_any_id("writer-3") == writer_id(3)
+        assert parse_any_id("server-0") == server_id(0)
+
+    def test_round_trip_config(self):
+        assert parse_any_id("c2") == config_id(2)
+
+    def test_identity(self):
+        pid = reader_id(1)
+        assert parse_any_id(pid) is pid
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_any_id("not-an-id")
+        with pytest.raises(ValueError):
+            parse_any_id(42)

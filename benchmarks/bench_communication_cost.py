@@ -70,3 +70,11 @@ def test_communication_cost_table(benchmark):
     table.print()
 
     benchmark(lambda: measure_treas(6, 4, delta))
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from conftest import main
+
+    raise SystemExit(main(__file__))

@@ -60,3 +60,11 @@ def test_delta_ablation(benchmark):
     table.print()
 
     benchmark(lambda: run_with_delta(2))
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from conftest import main
+
+    raise SystemExit(main(__file__))

@@ -50,3 +50,11 @@ def test_latency_vs_concurrency(benchmark):
     table.print()
 
     benchmark(lambda: run_workload("treas", 4))
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from conftest import main
+
+    raise SystemExit(main(__file__))

@@ -61,3 +61,11 @@ def test_latency_and_traffic_vs_object_size(benchmark):
     table.print()
 
     benchmark(lambda: run_one("treas", 1 << 16))
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from conftest import main
+
+    raise SystemExit(main(__file__))

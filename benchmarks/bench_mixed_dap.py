@@ -52,3 +52,11 @@ def test_mixed_dap_chain(benchmark):
     summary.print()
 
     benchmark(lambda: run_chain(alternate=True, num_reconfigs=2, seed=1))
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from conftest import main
+
+    raise SystemExit(main(__file__))

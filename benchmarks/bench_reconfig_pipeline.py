@@ -45,3 +45,11 @@ def test_reconfiguration_pipeline_latency(benchmark):
     table.print()
 
     benchmark(lambda: install_chain(2, 5.0))
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from conftest import main
+
+    raise SystemExit(main(__file__))

@@ -70,3 +70,11 @@ def test_rw_latency_under_concurrent_reconfigurations(benchmark):
     table.print()
 
     benchmark(lambda: run_with_reconfig_storm(1))
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from conftest import main
+
+    raise SystemExit(main(__file__))

@@ -58,3 +58,11 @@ def test_state_transfer_client_bottleneck(benchmark):
     table.print()
 
     benchmark(lambda: run_reconfiguration(direct=True, value_size=1 << 14))
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from conftest import main
+
+    raise SystemExit(main(__file__))

@@ -51,3 +51,11 @@ def test_storage_cost_table(benchmark):
     table.print()
 
     benchmark(lambda: measured_treas_storage(6, 4, 2))
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from conftest import main
+
+    raise SystemExit(main(__file__))

@@ -10,6 +10,7 @@ Public API overview
 Substrates
     :mod:`repro.sim`        -- discrete-event simulator and coroutine futures.
     :mod:`repro.net`        -- simulated network, latency models, failure injection.
+    :mod:`repro.chaos`      -- scripted fault schedules (the adversary subsystem).
     :mod:`repro.erasure`    -- Reed-Solomon [n, k] MDS codes over GF(256).
     :mod:`repro.consensus`  -- single-decree Paxos consensus per configuration.
 
@@ -30,13 +31,14 @@ from repro.common.ids import ProcessId, ConfigId
 from repro.sim.core import Simulator
 from repro.net.network import Network
 from repro.net.latency import UniformLatency, FixedLatency
+from repro.chaos import At, ChaosEngine, During, Schedule
 from repro.erasure.rs import ReedSolomonCode
 from repro.erasure.replication import ReplicationCode
 from repro.config.configuration import Configuration
 from repro.core.deployment import AresDeployment, DeploymentSpec
 from repro.registers.static import StaticRegisterDeployment
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Tag",
@@ -48,6 +50,10 @@ __all__ = [
     "Network",
     "UniformLatency",
     "FixedLatency",
+    "ChaosEngine",
+    "Schedule",
+    "At",
+    "During",
     "ReedSolomonCode",
     "ReplicationCode",
     "Configuration",

@@ -1,0 +1,202 @@
+"""The chaos engine: arms fault schedules on a running system.
+
+:class:`ChaosEngine` is the glue between the declarative layers
+(:mod:`repro.chaos.faults`, :mod:`repro.chaos.schedule`) and the substrate:
+it resolves process names against the network registry, turns schedule
+entries into simulator events, owns the network hooks installed by window
+faults, and keeps a timestamped log of everything it injected.
+
+Determinism: fault *timing* rides on the simulator's event queue (ties
+broken by insertion order, like every other event) and fault *randomness*
+(drop/duplication coin flips, reorder jitter) comes from the engine's own
+seeded RNG, independent of the simulator RNG that drives latencies.  Two
+runs with the same seeds therefore produce byte-identical executions, and
+the chaos log doubles as a determinism witness for tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.common.errors import SimulationError
+from repro.common.ids import ProcessId
+from repro.net.network import Network
+
+from repro.chaos.faults import Fault, Isolate, Partition, Target
+from repro.chaos.schedule import Schedule
+
+#: Shorthand prefixes accepted in fault targets: ``s3`` = ``server-3`` etc.
+_SHORTHAND = {"s": "server", "w": "writer", "r": "reader", "g": "reconfigurer"}
+
+
+class ChaosEngine:
+    """Injects scripted faults into a :class:`~repro.net.network.Network`.
+
+    Parameters
+    ----------
+    network:
+        The network under attack (its simulator provides the clock).
+    seed:
+        Seed of the engine's dedicated RNG (an int or a string; strings
+        hash deterministically across processes).  Keeping chaos randomness
+        out of the simulator RNG means arming a schedule never perturbs
+        latency or workload draws -- the fault-free prefix of a chaotic run
+        is identical to the fault-free run.  Callers that also seed the
+        simulator should derive a *distinct* seed here (e.g.
+        ``f"chaos-{seed}"``): two ``random.Random`` instances built from
+        the same integer emit identical sequences, which would correlate
+        fault coin flips with latency draws.
+    """
+
+    def __init__(self, network: Network, seed: Union[int, str] = 0) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.rng = random.Random(seed)
+        #: Timestamped, time-ordered log of every fault application.
+        self.log: List[Tuple[float, str]] = []
+        #: Currently active window faults (one entry per active start, so a
+        #: fault reused by overlapping schedule windows appears once per
+        #: window and each stop retires exactly one activation).
+        self.active: List[Fault] = []
+        # Hooks installed per fault instance: fault id -> stack of
+        # per-activation groups of (kind, callable) entries with kind in
+        # {"drop", "delay", "dup"}.  Grouping per activation lets the same
+        # fault object appear in several (even overlapping) schedule
+        # entries: each stop removes only its own activation's hooks.
+        self._hooks: Dict[int, List[List[Tuple[str, object]]]] = {}
+        # Collects the hooks installed by the fault.start() call in flight.
+        self._pending_install: Optional[List[Tuple[str, object]]] = None
+
+    # ------------------------------------------------------------ resolution
+    def resolve(self, target: Target) -> ProcessId:
+        """Resolve a target (id, ``"server-3"`` or ``"s3"``) to a :class:`ProcessId`."""
+        if isinstance(target, ProcessId):
+            if target not in self.network.processes:
+                raise SimulationError(f"chaos target {target} is not registered")
+            return target
+        name = str(target)
+        if len(name) >= 2 and name[0] in _SHORTHAND and name[1:].isdigit():
+            name = f"{_SHORTHAND[name[0]]}-{int(name[1:])}"
+        for pid in self.network.processes:
+            if pid.name == name:
+                return pid
+        raise SimulationError(f"chaos target {target!r} does not name a registered process")
+
+    def resolve_all(self, targets: Iterable[Target]) -> FrozenSet[ProcessId]:
+        """Resolve a collection of targets to a frozen set of process ids."""
+        return frozenset(self.resolve(target) for target in targets)
+
+    # ------------------------------------------------------------- injection
+    def inject(self, schedule: Union[Schedule, Iterable]) -> "ChaosEngine":
+        """Arm ``schedule`` (a :class:`Schedule` or iterable of entries)."""
+        if not isinstance(schedule, Schedule):
+            schedule = Schedule(list(schedule))
+        schedule.arm(self)
+        return self
+
+    def apply_at(self, time: float, fault: Fault) -> None:
+        """Schedule a point application (or permanent start) of ``fault``."""
+        self.sim.schedule_at(time, lambda: self._apply(fault),
+                             label=f"chaos {fault.describe()}")
+
+    def start_at(self, time: float, fault: Fault) -> None:
+        """Schedule the start of a window fault."""
+        self.sim.schedule_at(time, lambda: self._start(fault),
+                             label=f"chaos start {fault.describe()}")
+
+    def stop_at(self, time: float, fault: Fault) -> None:
+        """Schedule the stop of a window fault."""
+        self.sim.schedule_at(time, lambda: self._stop(fault),
+                             label=f"chaos stop {fault.describe()}")
+
+    # ------------------------------------------------------- fault lifecycle
+    def _activate(self, fault: Fault, run) -> None:
+        """Run a fault's start/apply, grouping the hooks it installs."""
+        self._pending_install = []
+        try:
+            run()
+        finally:
+            installed, self._pending_install = self._pending_install, None
+        if installed:
+            self._hooks.setdefault(id(fault), []).append(installed)
+
+    def _apply(self, fault: Fault) -> None:
+        self.record(fault.describe())
+        self._activate(fault, lambda: fault.apply(self))
+        if id(fault) in self._hooks:
+            self.active.append(fault)
+
+    def _start(self, fault: Fault) -> None:
+        self.record(f"start {fault.describe()}")
+        self._activate(fault, lambda: fault.start(self))
+        self.active.append(fault)
+
+    def _stop(self, fault: Fault) -> None:
+        if fault not in self.active:
+            return  # already healed (e.g. by an explicit Heal entry)
+        self.record(f"stop {fault.describe()}")
+        fault.stop(self)
+        self.active.remove(fault)
+
+    def heal_partitions(self) -> None:
+        """Stop every active :class:`Partition`/:class:`Isolate` activation."""
+        while True:
+            fault = next((f for f in self.active
+                          if isinstance(f, (Partition, Isolate))), None)
+            if fault is None:
+                return
+            self._stop(fault)
+
+    def stop_all(self) -> None:
+        """Stop every active window fault (used by teardown paths)."""
+        for fault in list(self.active):
+            self._stop(fault)
+
+    def record(self, text: str) -> None:
+        """Append a timestamped line to the chaos log."""
+        self.log.append((self.sim.now, text))
+
+    def describe_log(self) -> str:
+        """Human-readable rendering of the chaos log."""
+        return "\n".join(f"{t:8.2f}  {text}" for t, text in self.log)
+
+    # ----------------------------------------------------------- hook wiring
+    def _register_hook(self, fault: Fault, entry: Tuple[str, object]) -> None:
+        if self._pending_install is not None:
+            self._pending_install.append(entry)
+        else:  # installed outside _start/_apply (direct fault.start(engine))
+            self._hooks.setdefault(id(fault), []).append([entry])
+
+    def install_drop_filter(self, fault: Fault, rule) -> None:
+        """Install a drop filter on behalf of ``fault`` (removed on stop)."""
+        self.network.add_drop_filter(rule)
+        self._register_hook(fault, ("drop", rule))
+
+    def install_delay_adjuster(self, fault: Fault, adjuster) -> None:
+        """Install a delay adjuster on behalf of ``fault`` (removed on stop)."""
+        self.network.add_delay_adjuster(adjuster)
+        self._register_hook(fault, ("delay", adjuster))
+
+    def install_duplicator(self, fault: Fault, rule) -> None:
+        """Install a duplication rule on behalf of ``fault`` (removed on stop)."""
+        self.network.add_duplicator(rule)
+        self._register_hook(fault, ("dup", rule))
+
+    def remove_hooks(self, fault: Fault) -> None:
+        """Remove the hooks of ``fault``'s most recent activation."""
+        groups = self._hooks.get(id(fault))
+        if not groups:
+            return
+        for kind, hook in groups.pop():
+            if kind == "drop":
+                self.network.remove_drop_filter(hook)
+            elif kind == "delay":
+                self.network.remove_delay_adjuster(hook)
+            else:
+                self.network.remove_duplicator(hook)
+        if not groups:
+            del self._hooks[id(fault)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ChaosEngine active={len(self.active)} log={len(self.log)}>"

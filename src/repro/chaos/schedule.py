@@ -1,0 +1,116 @@
+"""The fault-schedule DSL.
+
+A :class:`Schedule` is a declarative list of timed entries:
+
+* ``At(t, fault, ...)`` -- fire point faults (or permanently start window
+  faults) at virtual time ``t``;
+* ``During(t0, t1, fault, ...)`` -- start window faults at ``t0`` and stop
+  them at ``t1``.
+
+Schedules are plain data until armed on a
+:class:`~repro.chaos.engine.ChaosEngine`, which translates every entry into
+simulator events (:meth:`repro.sim.core.Simulator.schedule_at`), so fault
+timing is ordered deterministically with protocol events -- same seed, same
+schedule, same execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple, TYPE_CHECKING
+
+from repro.chaos.faults import Fault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.engine import ChaosEngine
+
+
+@dataclass(frozen=True)
+class At:
+    """Apply ``faults`` at absolute virtual time ``time``.
+
+    Window faults started this way stay active until a matching stop entry
+    (e.g. a later ``At(t, Heal())``) or the end of the run.
+    """
+
+    time: float
+    faults: Tuple[Fault, ...]
+
+    def __init__(self, time: float, *faults: Fault) -> None:
+        if time < 0:
+            raise ValueError(f"cannot schedule a fault at negative time {time}")
+        if not faults:
+            raise ValueError("At() needs at least one fault")
+        object.__setattr__(self, "time", float(time))
+        object.__setattr__(self, "faults", tuple(faults))
+
+    def arm(self, engine: "ChaosEngine") -> None:
+        for fault in self.faults:
+            engine.apply_at(self.time, fault)
+
+    def describe(self) -> str:
+        inner = "; ".join(fault.describe() for fault in self.faults)
+        return f"at t={self.time:g}: {inner}"
+
+
+@dataclass(frozen=True)
+class During:
+    """Keep ``faults`` active on the half-open window ``[start, end)``."""
+
+    start: float
+    end: float
+    faults: Tuple[Fault, ...]
+
+    def __init__(self, start: float, end: float, *faults: Fault) -> None:
+        if start < 0:
+            raise ValueError(f"cannot schedule a fault at negative time {start}")
+        if end <= start:
+            raise ValueError(f"During window [{start}, {end}) is empty")
+        if not faults:
+            raise ValueError("During() needs at least one fault")
+        object.__setattr__(self, "start", float(start))
+        object.__setattr__(self, "end", float(end))
+        object.__setattr__(self, "faults", tuple(faults))
+
+    def arm(self, engine: "ChaosEngine") -> None:
+        for fault in self.faults:
+            engine.start_at(self.start, fault)
+            engine.stop_at(self.end, fault)
+
+    def describe(self) -> str:
+        inner = "; ".join(fault.describe() for fault in self.faults)
+        return f"during [{self.start:g}, {self.end:g}): {inner}"
+
+
+class Schedule:
+    """An ordered collection of :class:`At` / :class:`During` entries."""
+
+    def __init__(self, entries: Sequence) -> None:
+        for entry in entries:
+            if not hasattr(entry, "arm"):
+                raise TypeError(
+                    f"schedule entries must be At/During, got {type(entry).__name__}")
+        self.entries: List = sorted(
+            entries, key=lambda e: getattr(e, "time", getattr(e, "start", 0.0)))
+
+    def arm(self, engine: "ChaosEngine") -> None:
+        """Translate every entry into simulator events on ``engine``."""
+        for entry in self.entries:
+            entry.arm(engine)
+
+    def describe(self) -> str:
+        """Multi-line, time-ordered rendering of the schedule."""
+        return "\n".join(entry.describe() for entry in self.entries)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __add__(self, other: "Schedule") -> "Schedule":
+        """Merge two schedules (entries stay time-sorted)."""
+        return Schedule([*self.entries, *other.entries])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Schedule entries={len(self.entries)}>"

@@ -42,6 +42,15 @@ _EXP_LIST, _LOG_LIST = _build_tables()
 EXP_TABLE = np.array(_EXP_LIST, dtype=np.uint8)
 LOG_TABLE = np.array(_LOG_LIST, dtype=np.int32)
 
+# Tables for the fully vectorised matrix multiply: the log of zero maps to a
+# sentinel so large that any sum involving it lands in the zeroed tail of the
+# extended exp table -- multiplication by zero then needs no masking pass.
+_ZERO_SENTINEL = 1024
+_VLOG_TABLE = LOG_TABLE.astype(np.int16)
+_VLOG_TABLE[0] = _ZERO_SENTINEL
+_VEXP_TABLE = np.zeros(2 * _ZERO_SENTINEL + 1, dtype=np.uint8)
+_VEXP_TABLE[: 2 * (FIELD_SIZE - 1)] = EXP_TABLE[: 2 * (FIELD_SIZE - 1)]
+
 
 def gf_add(a: int, b: int) -> int:
     """Addition in GF(2^8) (XOR)."""
@@ -108,13 +117,12 @@ def gf_mul_bytes(scalar: int, data: np.ndarray) -> np.ndarray:
     return result
 
 
-def gf_matmul_vec(matrix: np.ndarray, shards: List[np.ndarray]) -> List[np.ndarray]:
-    """Multiply a GF(2^8) matrix by a "vector" of byte shards.
+def gf_matmul_vec_reference(matrix: np.ndarray, shards: List[np.ndarray]) -> List[np.ndarray]:
+    """Row-by-row scalar reference of :func:`gf_matmul_vec`.
 
-    ``matrix`` has shape ``(rows, cols)``; ``shards`` is a list of ``cols``
-    equal-length ``uint8`` arrays.  Returns ``rows`` output arrays, each the
-    GF-linear combination of the shards with the matrix row as coefficients.
-    This is the workhorse of Reed-Solomon encoding and decoding.
+    Kept for the equivalence test and the vectorisation speedup benchmark
+    (``benchmarks/bench_erasure.py``); production code uses
+    :func:`gf_matmul_vec`.
     """
     rows, cols = matrix.shape
     if cols != len(shards):
@@ -131,4 +139,51 @@ def gf_matmul_vec(matrix: np.ndarray, shards: List[np.ndarray]) -> List[np.ndarr
                 continue
             acc ^= gf_mul_bytes(coeff, shards[c])
         outputs.append(acc)
+    return outputs
+
+
+def gf_matmul_vec(matrix: np.ndarray, shards: List[np.ndarray]) -> List[np.ndarray]:
+    """Multiply a GF(2^8) matrix by a "vector" of byte shards.
+
+    ``matrix`` has shape ``(rows, cols)``; ``shards`` is a list of ``cols``
+    equal-length ``uint8`` arrays.  Returns ``rows`` output arrays, each the
+    GF-linear combination of the shards with the matrix row as coefficients.
+    This is the workhorse of Reed-Solomon encoding and decoding.
+
+    Dense rows (two or more non-zero coefficients: the parity rows of a
+    systematic generator, every row of a decode matrix that mixes parity
+    fragments) are computed in a single table-lookup expression over the 2D
+    shard matrix: with ``L = log(matrix)`` broadcast against
+    ``S = log(shards)`` (zero operands mapped to a sentinel log whose sums
+    index the zeroed tail of the extended exp table), the 3D tensor
+    ``EXP[L[r, c] + S[c, i]]`` is XOR-reduced over the column axis.  No
+    Python-level loop or masking pass touches a byte.  Rows with at most
+    one non-zero coefficient (the identity part of a systematic generator)
+    reduce to a single scaled copy.  ``benchmarks/bench_erasure.py``
+    measures the speedup over the per-row/per-col reference.  Peak scratch
+    memory is ``~3 * dense_rows * cols * shard_len`` bytes (a few hundred
+    KiB for the [n, k] ranges the experiments use).
+    """
+    rows, cols = matrix.shape
+    if cols != len(shards):
+        raise ValueError(f"matrix has {cols} columns but {len(shards)} shards were given")
+    if not shards:
+        return [np.zeros(0, dtype=np.uint8) for _ in range(rows)]
+    coeffs = np.ascontiguousarray(matrix, dtype=np.uint8)
+    stacked = np.stack([np.asarray(shard, dtype=np.uint8) for shard in shards])
+    length = stacked.shape[1]
+    outputs: List[np.ndarray] = [None] * rows  # type: ignore[list-item]
+    nonzero_per_row = np.count_nonzero(coeffs, axis=1)
+    for r in np.flatnonzero(nonzero_per_row == 0):
+        outputs[r] = np.zeros(length, dtype=np.uint8)
+    for r in np.flatnonzero(nonzero_per_row == 1):
+        c = int(np.flatnonzero(coeffs[r])[0])
+        outputs[r] = gf_mul_bytes(int(coeffs[r, c]), stacked[c])
+    dense = np.flatnonzero(nonzero_per_row > 1)
+    if dense.size:
+        # (d, cols, 1) + (1, cols, length) -> (d, cols, length) log-sums.
+        log_sum = _VLOG_TABLE[coeffs[dense]][:, :, None] + _VLOG_TABLE[stacked][None, :, :]
+        reduced = np.bitwise_xor.reduce(_VEXP_TABLE[log_sum], axis=1)
+        for position, r in enumerate(dense):
+            outputs[r] = reduced[position]
     return outputs

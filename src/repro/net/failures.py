@@ -10,6 +10,11 @@ failures (and harsher ones, for substrate robustness tests):
 * :class:`PartitionController` -- temporarily partition the process set into
   groups that cannot exchange messages; used only by substrate tests since
   the paper's channels are reliable.
+
+For scripted, composable, reproducible fault *schedules* (crash/restart
+cycles, partition windows, gray failures, message duplication/reordering)
+use the chaos subsystem (:mod:`repro.chaos`) instead; these helpers remain
+as the low-level imperative API they are built on.
 """
 
 from __future__ import annotations

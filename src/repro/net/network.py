@@ -42,8 +42,14 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
         # Filters return True if the message should be DROPPED.
         self._drop_filters: List[Callable[[ProcessId, ProcessId, Message], bool]] = []
+        # Adjusters rewrite the sampled delivery delay (latency spikes, gray
+        # failures, reordering jitter); they compose left to right.
+        self._delay_adjusters: List[Callable[[ProcessId, ProcessId, Message, float], float]] = []
+        # Duplicators return how many EXTRA copies of the message to deliver.
+        self._duplicators: List[Callable[[ProcessId, ProcessId, Message], int]] = []
         # Observers see every (src, dest, message, deliver_time) tuple accepted for delivery.
         self._observers: List[Callable[[ProcessId, ProcessId, Message, float], None]] = []
 
@@ -80,6 +86,35 @@ class Network:
         if rule in self._drop_filters:
             self._drop_filters.remove(rule)
 
+    def add_delay_adjuster(self, adjuster: Callable[[ProcessId, ProcessId, Message, float], float]) -> None:
+        """Install a rule rewriting the delivery delay of every message.
+
+        Adjusters receive ``(src, dest, message, delay)`` and return the new
+        delay; they compose in installation order.  Negative results are
+        clamped to zero.  Used by the chaos layer for latency spikes, slow
+        ("gray") servers and reordering jitter.
+        """
+        self._delay_adjusters.append(adjuster)
+
+    def remove_delay_adjuster(self, adjuster: Callable[[ProcessId, ProcessId, Message, float], float]) -> None:
+        """Remove a previously installed delay adjuster (no error if absent)."""
+        if adjuster in self._delay_adjusters:
+            self._delay_adjusters.remove(adjuster)
+
+    def add_duplicator(self, rule: Callable[[ProcessId, ProcessId, Message], int]) -> None:
+        """Install a rule returning how many extra copies of a message to deliver.
+
+        Each extra copy draws its own latency sample, so duplicates arrive at
+        independent times (and may overtake the original).  Quorum gathers
+        deduplicate replies per responder, so protocols stay correct.
+        """
+        self._duplicators.append(rule)
+
+    def remove_duplicator(self, rule: Callable[[ProcessId, ProcessId, Message], int]) -> None:
+        """Remove a previously installed duplication rule (no error if absent)."""
+        if rule in self._duplicators:
+            self._duplicators.remove(rule)
+
     def add_observer(self, observer: Callable[[ProcessId, ProcessId, Message, float], None]) -> None:
         """Install a passive observer of all sent messages (for tests/traces)."""
         self._observers.append(observer)
@@ -99,15 +134,31 @@ class Network:
             if rule(src, dest, message):
                 self.messages_dropped += 1
                 return
-        delay = self.latency.sample(self.sim, src, dest)
-        for observer in self._observers:
-            observer(src, dest, message, self.sim.now + delay)
-        self.sim.schedule(delay, lambda: self._deliver(src, dest, message),
-                          label=f"deliver {message.kind} {src}->{dest}")
+        extra_copies = 0
+        for duplicator in self._duplicators:
+            extra_copies += max(0, int(duplicator(src, dest, message)))
+        # Messages addressed to a crashed process are lost even if the
+        # process restarts before they would arrive: a rebooted machine
+        # never sees requests sent during its outage.
+        dest_process = self.processes.get(dest)
+        sent_while_down = dest_process is not None and dest_process.crashed
+        for copy_index in range(1 + extra_copies):
+            delay = self.latency.sample(self.sim, src, dest)
+            for adjuster in self._delay_adjusters:
+                delay = adjuster(src, dest, message, delay)
+            delay = max(0.0, delay)
+            for observer in self._observers:
+                observer(src, dest, message, self.sim.now + delay)
+            if copy_index:
+                self.messages_duplicated += 1
+            self.sim.schedule(delay,
+                              lambda: self._deliver(src, dest, message, sent_while_down),
+                              label=f"deliver {message.kind} {src}->{dest}")
 
-    def _deliver(self, src: ProcessId, dest: ProcessId, message: Message) -> None:
+    def _deliver(self, src: ProcessId, dest: ProcessId, message: Message,
+                 sent_while_down: bool = False) -> None:
         process = self.processes.get(dest)
-        if process is None or process.crashed:
+        if process is None or process.crashed or sent_while_down:
             self.messages_dropped += 1
             return
         self.messages_delivered += 1
@@ -121,6 +172,10 @@ class Network:
     def crash_at(self, pid: ProcessId, time: float) -> None:
         """Schedule a crash of ``pid`` at absolute virtual time ``time``."""
         self.sim.schedule_at(time, lambda: self.crash(pid), label=f"crash {pid}")
+
+    def restart(self, pid: ProcessId) -> None:
+        """Restart the crashed process ``pid`` (crash-recovery with stable storage)."""
+        self.process(pid).restart()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<Network processes={len(self.processes)} sent={self.messages_sent} "

@@ -111,22 +111,43 @@ class QuorumFuture(SimFuture):
     resolves with the *list of responses present at the moment the threshold
     was reached* (later responses are still appended for diagnostic purposes
     but do not change the result).
+
+    A quorum is a set of *distinct* processes, so when ``distinct_by`` is
+    given (the process layer passes the responder id) repeated responses with
+    the same key are counted once: the chaos layer's message-duplication
+    fault must not let one server satisfy two slots of a threshold, nor feed
+    the same coded element twice to an erasure decoder.
     """
 
-    __slots__ = ("threshold", "responses", "_frozen_result")
+    __slots__ = ("threshold", "responses", "distinct_by", "duplicates_ignored",
+                 "_seen_keys", "_frozen_result")
 
-    def __init__(self, sim: Simulator, threshold: int, label: str = "") -> None:
+    def __init__(self, sim: Simulator, threshold: int, label: str = "",
+                 distinct_by: Optional[Callable[[Any], Any]] = None) -> None:
         super().__init__(sim, label=label)
         if threshold < 0:
             raise SimulationError("quorum threshold must be non-negative")
         self.threshold = threshold
         self.responses: List[Any] = []
+        self.distinct_by = distinct_by
+        self.duplicates_ignored = 0
+        self._seen_keys: set = set()
         self._frozen_result: Optional[List[Any]] = None
         if threshold == 0:
             self.set_result([])
 
     def add_response(self, response: Any) -> None:
-        """Record one response; resolves the future at the threshold."""
+        """Record one response; resolves the future at the threshold.
+
+        Responses whose ``distinct_by`` key was already seen are discarded
+        (tallied in :attr:`duplicates_ignored`).
+        """
+        if self.distinct_by is not None:
+            key = self.distinct_by(response)
+            if key in self._seen_keys:
+                self.duplicates_ignored += 1
+                return
+            self._seen_keys.add(key)
         self.responses.append(response)
         if not self.done() and len(self.responses) >= self.threshold:
             self._frozen_result = list(self.responses)

@@ -27,6 +27,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
 
 
+def _responder(response):
+    """Dedup key for quorum gathers: the (server id, reply) pair's sender."""
+    return response[0]
+
+
 class Process:
     """Base class for all simulated processes.
 
@@ -72,6 +77,18 @@ class Process:
                 coroutine.abort(f"{self.pid} crashed")
         self._coroutines.clear()
         self._pending_gathers.clear()
+
+    def restart(self) -> None:
+        """Bring a crashed process back up (crash-recovery with stable storage).
+
+        The paper's proofs assume crash-stop processes; the chaos layer uses
+        restart to model crash-recovery of *servers*, whose entire protocol
+        state (DAP states, configuration records) is treated as stable
+        storage and therefore survives the outage.  Coroutines aborted by the
+        crash stay aborted and in-flight requests from the downtime are lost;
+        the process simply resumes receiving and sending.
+        """
+        self.crashed = False
 
     # ------------------------------------------------------------- messaging
     def send(self, dest: ProcessId, message: "Message") -> None:
@@ -137,7 +154,8 @@ class Process:
         servers = list(servers)
         request_id = self.new_request_id()
         gather = QuorumFuture(self.sim, threshold=threshold,
-                              label=f"{self.pid}:{label}#{request_id}")
+                              label=f"{self.pid}:{label}#{request_id}",
+                              distinct_by=_responder)
         alive = [s for s in servers if not self.network.is_crashed(s)]
         if len(alive) < threshold:
             raise QuorumUnavailableError(
@@ -165,7 +183,8 @@ class Process:
         """
         request_id = self.new_request_id()
         gather = QuorumFuture(self.sim, threshold=threshold,
-                              label=f"{self.pid}:{label}#{request_id}")
+                              label=f"{self.pid}:{label}#{request_id}",
+                              distinct_by=_responder)
         self._pending_gathers[request_id] = gather
         gather.add_done_callback(lambda _f: self._pending_gathers.pop(request_id, None))
         return request_id, gather
@@ -184,7 +203,8 @@ class Process:
         """
         request_id = self.new_request_id()
         gather = QuorumFuture(self.sim, threshold=threshold,
-                              label=f"{self.pid}:{label}#{request_id}")
+                              label=f"{self.pid}:{label}#{request_id}",
+                              distinct_by=_responder)
         alive = [s for s in messages if not self.network.is_crashed(s)]
         if len(alive) < threshold:
             raise QuorumUnavailableError(

@@ -153,3 +153,18 @@ class History:
     def describe(self) -> str:
         """Multi-line rendering of the history ordered by invocation time."""
         return "\n".join(str(record) for record in self.operations())
+
+    def signature(self) -> tuple:
+        """A hashable fingerprint of the whole history.
+
+        Two runs of the same seeded scenario must produce equal signatures;
+        the chaos determinism tests compare them to catch any source of
+        nondeterminism (unseeded randomness, iteration-order dependence)
+        creeping into the stack.
+        """
+        return tuple(
+            (record.op_id, record.process.name, record.op_type.value,
+             record.invoked_at, record.responded_at, record.value_label,
+             None if record.tag is None else str(record.tag), record.failed)
+            for record in self.operations()
+        )

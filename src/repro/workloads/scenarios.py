@@ -1,16 +1,40 @@
-"""Canned workload scenarios.
+"""Canned workload scenarios and the chaos scenario registry.
 
-Each scenario builds a deployment, drives it with a specific mix and returns
-``(deployment, WorkloadResult)``.  The scenarios correspond to the workload
-families the ICDCS'19 evaluation reports on: read-heavy and write-heavy file
-access patterns, balanced mixes, and client traffic concurrent with a storm
-of reconfigurations.
+The first half of this module keeps the workload families the ICDCS'19
+evaluation reports on (read-heavy, write-heavy, balanced, reconfiguration
+storm); each builds a deployment, drives it and returns ``(deployment,
+WorkloadResult)``.
+
+The second half is the **chaos scenario registry**: named, seed-deterministic
+cross-products of DAP (ABD / LDR / TREAS) x fault schedule x reconfiguration
+cadence.  Every registered scenario stays inside the paper's fault-tolerance
+envelope (at most ``f`` servers of any configuration lost at a time), so
+both safety *and* liveness are asserted: ``run_scenario(name, seed)``
+returns a :class:`ChaosRunResult` whose :meth:`~ChaosRunResult.verify`
+checks the recorded history against the linearizability spec.  Use
+:func:`scenario_names` / :func:`get_scenario` to enumerate, and
+:func:`register_scenario` to add new ones (future DAPs and policies get the
+whole adversary suite for free).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import random
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.faults import (
+    Crash,
+    Drop,
+    Duplicate,
+    Isolate,
+    LatencySpike,
+    Reorder,
+    Restart,
+    SlowServer,
+)
+from repro.chaos.schedule import At, During, Schedule
 from repro.core.deployment import AresDeployment, DeploymentSpec
 from repro.net.latency import UniformLatency
 from repro.workloads.generator import ClosedLoopDriver, WorkloadResult, WorkloadSpec
@@ -87,3 +111,344 @@ def reconfiguration_storm(num_reconfigs: int = 3, value_size: int = 512,
                         value_size=value_size, think_time=2.0)
     result = ClosedLoopDriver(deployment, spec).run()
     return deployment, result
+
+
+# ======================================================================
+# Chaos scenario registry
+# ======================================================================
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named, reproducible adversary experiment.
+
+    Attributes
+    ----------
+    name / description:
+        Registry key and one-line summary (shown by ``scenario_names`` and
+        the ``chaos_storm`` example).
+    dap:
+        DAP kind of the initial configuration (``abd`` / ``ldr`` / ``treas``).
+    faults:
+        Tags of the fault families exercised (``crash``, ``partition``,
+        ``reconfig``, ``gray``, ``drop``, ``duplicate``, ``reorder``,
+        ``restart``) -- used for registry queries and coverage assertions.
+    deployment:
+        ``seed -> AresDeployment`` factory.
+    schedule:
+        ``deployment -> Schedule`` factory (may inspect the deployment to
+        pick victims inside the fault-tolerance envelope).
+    workload:
+        The closed-loop client mix driven concurrently with the faults.
+    num_reconfigs / reconfig_cadence / reconfig_daps / fresh_servers:
+        Reconfiguration pressure: how many reconfigurations, the pause
+        before each, the DAP kinds to cycle through (empty = scenario DAP)
+        and how many fresh servers each new configuration recruits.
+    """
+
+    name: str
+    description: str
+    dap: str
+    faults: Tuple[str, ...]
+    deployment: Callable[[int], AresDeployment]
+    schedule: Callable[[AresDeployment], Schedule]
+    workload: WorkloadSpec
+    num_reconfigs: int = 0
+    reconfig_cadence: float = 8.0
+    reconfig_daps: Tuple[str, ...] = ()
+    fresh_servers: int = 0
+
+
+@dataclass
+class ChaosRunResult:
+    """Everything a test or report needs from one chaos run."""
+
+    scenario: ChaosScenario
+    seed: int
+    deployment: AresDeployment
+    workload: WorkloadResult
+    engine: ChaosEngine
+    schedule: Schedule
+    reconfig_errors: List[str] = dataclass_field(default_factory=list)
+
+    @property
+    def history(self):
+        """The recorded operation history."""
+        return self.deployment.history
+
+    @property
+    def chaos_log(self) -> List[Tuple[float, str]]:
+        """The engine's timestamped fault log."""
+        return list(self.engine.log)
+
+    def signature(self) -> tuple:
+        """Determinism witness: history fingerprint + chaos log."""
+        return (self.history.signature(), tuple(self.engine.log))
+
+    def verify(self) -> None:
+        """Assert liveness (no stalled/errored session) and atomicity.
+
+        Raises ``AssertionError`` with a descriptive message on violation.
+        """
+        from repro.spec.linearizability import (check_linearizability,
+                                                check_tag_monotonicity)
+
+        errors = list(self.workload.errors) + list(self.reconfig_errors)
+        assert not errors, (
+            f"scenario {self.scenario.name!r} (seed {self.seed}) lost liveness: "
+            f"{errors}\nchaos log:\n{self.engine.describe_log()}")
+        result = check_linearizability(self.history)
+        assert result.ok, (
+            f"scenario {self.scenario.name!r} (seed {self.seed}) violated "
+            f"atomicity: {result.reason}\nchaos log:\n{self.engine.describe_log()}")
+        monotonic = check_tag_monotonicity(self.history)
+        assert monotonic is None, (
+            f"scenario {self.scenario.name!r} (seed {self.seed}) violated tag "
+            f"monotonicity: {monotonic}")
+
+
+#: The global registry of named chaos scenarios.
+SCENARIOS: Dict[str, ChaosScenario] = {}
+
+
+def register_scenario(scenario: ChaosScenario) -> ChaosScenario:
+    """Add ``scenario`` to the registry (its name must be unused)."""
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"chaos scenario {scenario.name!r} is already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> ChaosScenario:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown chaos scenario {name!r}; registered: {', '.join(SCENARIOS)}"
+        ) from None
+
+
+def run_scenario(name: str, seed: int = 0) -> ChaosRunResult:
+    """Execute one registered scenario end-to-end, deterministically.
+
+    The run seed fans out into three independent streams -- simulator
+    (latencies), chaos engine (drop/duplicate coin flips, jitter) and
+    workload (think times) -- so two calls with equal ``(name, seed)``
+    produce byte-identical histories and chaos logs.
+    """
+    scenario = get_scenario(name)
+    deployment = scenario.deployment(seed)
+    # The deployment already seeded its simulator with the bare integer;
+    # derive a distinct chaos seed so fault coin flips are not the same
+    # Mersenne Twister stream as the latency draws.
+    engine = ChaosEngine(deployment.network, seed=f"chaos-{name}-{seed}")
+    schedule = scenario.schedule(deployment)
+    engine.inject(schedule)
+
+    reconfig_session = None
+    if scenario.num_reconfigs:
+        reconfig_session = _spawn_reconfig_session(deployment, scenario)
+
+    driver = ClosedLoopDriver(deployment, scenario.workload,
+                              rng=random.Random(f"workload-{name}-{seed}"))
+    workload = driver.run()
+    reconfig_errors = []
+    if reconfig_session is not None:
+        if reconfig_session.exception() is not None:
+            reconfig_errors.append(repr(reconfig_session.exception()))
+        elif not reconfig_session.done():
+            reconfig_errors.append("reconfiguration session never completed (stalled)")
+    return ChaosRunResult(scenario=scenario, seed=seed, deployment=deployment,
+                          workload=workload, engine=engine, schedule=schedule,
+                          reconfig_errors=reconfig_errors)
+
+
+def _spawn_reconfig_session(deployment: AresDeployment, scenario: ChaosScenario):
+    """Start the scenario's reconfiguration pressure as a client coroutine."""
+    reconfigurer = deployment.reconfigurers[0]
+    daps = scenario.reconfig_daps or (scenario.dap,)
+
+    def session():
+        for index in range(scenario.num_reconfigs):
+            yield reconfigurer.sleep(scenario.reconfig_cadence)
+            dap = daps[index % len(daps)]
+            configuration = deployment.make_configuration(
+                dap=dap, fresh_servers=scenario.fresh_servers)
+            yield from reconfigurer.reconfig(configuration)
+        return None
+
+    return reconfigurer.spawn(session(), label="chaos-reconfig-session")
+
+
+# ---------------------------------------------------------------- factories
+def _abd_deployment(seed: int) -> AresDeployment:
+    """ABD over 5 servers: majority quorums, crash tolerance f = 2."""
+    return AresDeployment(DeploymentSpec(
+        num_servers=5, initial_dap="abd", num_writers=2, num_readers=2,
+        num_reconfigurers=1, latency=UniformLatency(1.0, 2.0), seed=seed))
+
+
+def _treas_deployment(seed: int) -> AresDeployment:
+    """TREAS [6, 4]: quorum ceil((n+k)/2) = 5, crash tolerance f = 1."""
+    return AresDeployment(DeploymentSpec(
+        num_servers=6, initial_dap="treas", k=4, delta=8, num_writers=2,
+        num_readers=2, num_reconfigurers=1,
+        latency=UniformLatency(1.0, 2.0), seed=seed))
+
+
+def _ldr_deployment(seed: int) -> AresDeployment:
+    """LDR over 6 servers (3 directories + 3 replicas): directory majority 2, replica f = 1."""
+    return AresDeployment(DeploymentSpec(
+        num_servers=6, initial_dap="ldr", num_writers=2, num_readers=2,
+        num_reconfigurers=1, latency=UniformLatency(1.0, 2.0), seed=seed))
+
+
+_WORKLOAD = WorkloadSpec(operations_per_writer=3, operations_per_reader=3,
+                         value_size=256, think_time=2.0)
+
+
+# ----------------------------------------------------------- the registry
+# Victim choices below stay inside each configuration's tolerance envelope:
+# ABD-5 tolerates 2 crashed/isolated servers, TREAS [6, 4] tolerates 1, and
+# LDR 3+3 tolerates 1 directory plus 1 replica.
+
+register_scenario(ChaosScenario(
+    name="abd_crash_minority",
+    description="ABD-5 loses a 2-server minority mid-traffic (crash-stop)",
+    dap="abd", faults=("crash",),
+    deployment=_abd_deployment,
+    schedule=lambda d: Schedule([At(8, Crash("s3")), At(18, Crash("s4"))]),
+    workload=_WORKLOAD,
+))
+
+register_scenario(ChaosScenario(
+    name="abd_partition_minority",
+    description="ABD-5 with a 2-server island partitioned away, then healed",
+    dap="abd", faults=("partition",),
+    deployment=_abd_deployment,
+    schedule=lambda d: Schedule([During(6, 35, Isolate("s3", "s4"))]),
+    workload=_WORKLOAD,
+))
+
+register_scenario(ChaosScenario(
+    name="abd_reconfig_crash",
+    description="ABD reconfigures onto fresh servers while an old server crashes",
+    dap="abd", faults=("reconfig", "crash"),
+    deployment=_abd_deployment,
+    schedule=lambda d: Schedule([At(14, Crash("s4"))]),
+    workload=_WORKLOAD,
+    num_reconfigs=2, reconfig_cadence=6.0, fresh_servers=5,
+))
+
+register_scenario(ChaosScenario(
+    name="abd_packet_chaos",
+    description="ABD under lossy (one server), duplicating, reordering links",
+    dap="abd", faults=("drop", "duplicate", "reorder"),
+    deployment=_abd_deployment,
+    schedule=lambda d: Schedule([
+        During(4, 45, Drop(0.4, dst=("s4",)), Duplicate(0.25), Reorder(1.5)),
+    ]),
+    workload=_WORKLOAD,
+))
+
+register_scenario(ChaosScenario(
+    name="treas_crash_server",
+    description="TREAS [6,4] loses its tolerated server (f = 1) mid-traffic",
+    dap="treas", faults=("crash",),
+    deployment=_treas_deployment,
+    schedule=lambda d: Schedule([At(10, Crash("s5"))]),
+    workload=_WORKLOAD,
+))
+
+register_scenario(ChaosScenario(
+    name="treas_crash_restart",
+    description="TREAS server crash-recovers with stable storage, then another crashes",
+    dap="treas", faults=("crash", "restart"),
+    deployment=_treas_deployment,
+    schedule=lambda d: Schedule([
+        At(8, Crash("s5")), At(24, Restart("s5")), At(34, Crash("s4")),
+    ]),
+    workload=_WORKLOAD,
+))
+
+register_scenario(ChaosScenario(
+    name="treas_partition_heal",
+    description="TREAS [6,4] with one server partitioned away, then healed",
+    dap="treas", faults=("partition",),
+    deployment=_treas_deployment,
+    schedule=lambda d: Schedule([During(8, 40, Isolate("s5"))]),
+    workload=_WORKLOAD,
+))
+
+register_scenario(ChaosScenario(
+    name="treas_reconfig_partition",
+    description="TREAS reconfiguration storm with a server isolated during the storm",
+    dap="treas", faults=("reconfig", "partition"),
+    deployment=_treas_deployment,
+    schedule=lambda d: Schedule([During(10, 30, Isolate("s5"))]),
+    workload=_WORKLOAD,
+    num_reconfigs=2, reconfig_cadence=7.0, fresh_servers=6,
+))
+
+register_scenario(ChaosScenario(
+    name="treas_gray_failure",
+    description="TREAS with a limping (gray) server, global latency spike and duplication",
+    dap="treas", faults=("gray", "duplicate", "reorder"),
+    deployment=_treas_deployment,
+    schedule=lambda d: Schedule([
+        During(5, 55, SlowServer("s0", factor=4.0), LatencySpike(1.5)),
+        During(5, 55, Duplicate(0.3), Reorder(2.0)),
+    ]),
+    workload=_WORKLOAD,
+))
+
+register_scenario(ChaosScenario(
+    name="ldr_crash_replica",
+    description="LDR loses one replica and one directory (both within tolerance)",
+    dap="ldr", faults=("crash",),
+    deployment=_ldr_deployment,
+    schedule=lambda d: Schedule([At(9, Crash("s5")), At(22, Crash("s0"))]),
+    workload=_WORKLOAD,
+))
+
+register_scenario(ChaosScenario(
+    name="ldr_partition_directory",
+    description="LDR with one directory server partitioned away, then healed",
+    dap="ldr", faults=("partition",),
+    deployment=_ldr_deployment,
+    schedule=lambda d: Schedule([During(7, 36, Isolate("s2"))]),
+    workload=_WORKLOAD,
+))
+
+register_scenario(ChaosScenario(
+    name="ldr_reconfig_crash",
+    description="LDR reconfigures onto fresh servers while an old replica crashes",
+    dap="ldr", faults=("reconfig", "crash"),
+    deployment=_ldr_deployment,
+    schedule=lambda d: Schedule([At(16, Crash("s4"))]),
+    workload=_WORKLOAD,
+    num_reconfigs=2, reconfig_cadence=7.0, fresh_servers=6,
+))
+
+register_scenario(ChaosScenario(
+    name="storm_mixed_dap_chaos",
+    description=("Kitchen sink: TREAS->ABD->TREAS reconfiguration chain under a "
+                 "partition window, a crash, a gray server and message chaos"),
+    dap="treas", faults=("reconfig", "partition", "crash", "gray", "duplicate", "reorder"),
+    deployment=_treas_deployment,
+    schedule=lambda d: Schedule([
+        During(9, 26, Isolate("s5")),
+        At(32, Crash("s4")),
+        During(5, 70, SlowServer("s1", factor=3.0)),
+        During(5, 70, Duplicate(0.2), Reorder(1.0)),
+    ]),
+    workload=WorkloadSpec(operations_per_writer=3, operations_per_reader=3,
+                          value_size=512, think_time=2.5),
+    num_reconfigs=3, reconfig_cadence=8.0, fresh_servers=6,
+    reconfig_daps=("treas", "abd", "treas"),
+))

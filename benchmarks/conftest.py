@@ -47,7 +47,8 @@ def main(module_file: str, argv=None) -> int:
     ``--quick`` to the reduced-parameters mode with timing disabled.
     """
     argv = sys.argv[1:] if argv is None else argv
-    pytest_args = [module_file, "-x", "-q"]
+    # -s: the paper-style tables the modules print ARE the benchmark output.
+    pytest_args = [module_file, "-x", "-q", "-s"]
     if "--quick" in argv:
         pytest_args += ["--quick", "--benchmark-disable"]
     extra = [a for a in argv if a != "--quick"]

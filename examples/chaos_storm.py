@@ -12,6 +12,7 @@ Run with::
 
     python examples/chaos_storm.py            # every registered scenario
     python examples/chaos_storm.py --quick    # just the kitchen-sink storm
+    python examples/chaos_storm.py --profile  # cProfile the showcase storm
 """
 
 from __future__ import annotations
@@ -53,6 +54,8 @@ def main() -> int:
             storm = result
     if storm is None:  # SHOWCASE not in names (cannot happen today, but cheap)
         storm = run_scenario(SHOWCASE, seed=7)
+    if "--profile" in sys.argv[1:]:
+        run_scenario(SHOWCASE, seed=7, profile=True)
     print(f"\n--- {SHOWCASE}: fault schedule ---")
     print(storm.schedule.describe())
     print(f"\n--- {SHOWCASE}: chaos log (what actually fired) ---")

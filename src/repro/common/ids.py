@@ -47,20 +47,28 @@ class ProcessId:
     sort_key: tuple = field(init=False, repr=False, compare=True)
     role: Role = field(compare=False)
     index: int = field(compare=False)
+    # Identifiers are used as dictionary keys (process registries, traffic
+    # accounting, quorum dedup) on every message of every execution, so the
+    # hash and display name are computed once at construction.  The hash
+    # basis is unchanged, keeping set/dict layouts identical to older builds.
+    _hash: int = field(init=False, repr=False, compare=False)
+    _name: str = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sort_key", (self.role.value, self.index))
+        object.__setattr__(self, "_hash", hash((self.role, self.index)))
+        object.__setattr__(self, "_name", f"{self.role.value}-{self.index}")
 
     @property
     def name(self) -> str:
         """Short human-readable name, e.g. ``writer-0`` or ``server-3``."""
-        return f"{self.role.value}-{self.index}"
+        return self._name
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return self.name
+        return self._name
 
     def __hash__(self) -> int:
-        return hash((self.role, self.index))
+        return self._hash
 
 
 def writer_id(index: int) -> ProcessId:
@@ -93,6 +101,14 @@ class ConfigId:
     """
 
     name: str
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Same basis as the dataclass-generated hash (the compare fields).
+        object.__setattr__(self, "_hash", hash((self.name,)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name

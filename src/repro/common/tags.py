@@ -9,7 +9,7 @@ by a writer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -32,23 +32,39 @@ class Tag:
 
     z: int
     writer: Optional["ProcessId"] = None
+    # Tags are compared on every quorum reply (max-tag selection, server
+    # updates), so the comparison key is built once at construction instead
+    # of twice per comparison.  ``compare=False`` keeps equality and hashing
+    # on ``(z, writer)`` exactly as before.
+    sort_key: tuple = field(init=False, repr=False, compare=False)
+    _hash: int = field(init=False, repr=False, compare=False)
 
-    def _key(self) -> tuple:
+    def __post_init__(self) -> None:
         # ``None`` (the initial writer) sorts below every real writer id.
         writer_key = ("", -1) if self.writer is None else self.writer.sort_key
-        return (self.z, writer_key)
+        object.__setattr__(self, "sort_key", (self.z, writer_key))
+        # Tags key the per-server DAP state dictionaries, so they are hashed
+        # on nearly every protocol message; same basis as the generated hash.
+        object.__setattr__(self, "_hash", hash((self.z, self.writer)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def _key(self) -> tuple:
+        """The ``(z, writer)`` comparison key (kept for introspection)."""
+        return self.sort_key
 
     def __lt__(self, other: "Tag") -> bool:
-        return self._key() < other._key()
+        return self.sort_key < other.sort_key
 
     def __le__(self, other: "Tag") -> bool:
-        return self._key() <= other._key()
+        return self.sort_key <= other.sort_key
 
     def __gt__(self, other: "Tag") -> bool:
-        return self._key() > other._key()
+        return self.sort_key > other.sort_key
 
     def __ge__(self, other: "Tag") -> bool:
-        return self._key() >= other._key()
+        return self.sort_key >= other.sort_key
 
     def increment(self, writer: "ProcessId") -> "Tag":
         """Return the tag ``(z + 1, writer)`` used by a write operation.

@@ -52,6 +52,9 @@ class Network:
         self._duplicators: List[Callable[[ProcessId, ProcessId, Message], int]] = []
         # Observers see every (src, dest, message, deliver_time) tuple accepted for delivery.
         self._observers: List[Callable[[ProcessId, ProcessId, Message, float], None]] = []
+        # True while no hook of any kind is installed; send() then takes a
+        # zero-chaos fast path that skips every hook loop.
+        self._quiet = True
 
     # -------------------------------------------------------------- registry
     def register(self, process: Process) -> None:
@@ -77,14 +80,20 @@ class Network:
         return [p for p in pids if not self.is_crashed(p)]
 
     # ------------------------------------------------------------ fault hooks
+    def _refresh_quiet(self) -> None:
+        self._quiet = not (self._drop_filters or self._delay_adjusters
+                           or self._duplicators or self._observers)
+
     def add_drop_filter(self, rule: Callable[[ProcessId, ProcessId, Message], bool]) -> None:
         """Install a rule; messages for which it returns ``True`` are dropped."""
         self._drop_filters.append(rule)
+        self._quiet = False
 
     def remove_drop_filter(self, rule: Callable[[ProcessId, ProcessId, Message], bool]) -> None:
         """Remove a previously installed drop rule (no error if absent)."""
         if rule in self._drop_filters:
             self._drop_filters.remove(rule)
+        self._refresh_quiet()
 
     def add_delay_adjuster(self, adjuster: Callable[[ProcessId, ProcessId, Message, float], float]) -> None:
         """Install a rule rewriting the delivery delay of every message.
@@ -95,11 +104,13 @@ class Network:
         ("gray") servers and reordering jitter.
         """
         self._delay_adjusters.append(adjuster)
+        self._quiet = False
 
     def remove_delay_adjuster(self, adjuster: Callable[[ProcessId, ProcessId, Message, float], float]) -> None:
         """Remove a previously installed delay adjuster (no error if absent)."""
         if adjuster in self._delay_adjusters:
             self._delay_adjusters.remove(adjuster)
+        self._refresh_quiet()
 
     def add_duplicator(self, rule: Callable[[ProcessId, ProcessId, Message], int]) -> None:
         """Install a rule returning how many extra copies of a message to deliver.
@@ -109,27 +120,51 @@ class Network:
         deduplicate replies per responder, so protocols stay correct.
         """
         self._duplicators.append(rule)
+        self._quiet = False
 
     def remove_duplicator(self, rule: Callable[[ProcessId, ProcessId, Message], int]) -> None:
         """Remove a previously installed duplication rule (no error if absent)."""
         if rule in self._duplicators:
             self._duplicators.remove(rule)
+        self._refresh_quiet()
 
     def add_observer(self, observer: Callable[[ProcessId, ProcessId, Message, float], None]) -> None:
         """Install a passive observer of all sent messages (for tests/traces)."""
         self._observers.append(observer)
+        self._quiet = False
 
     # --------------------------------------------------------------- delivery
     def send(self, src: ProcessId, dest: ProcessId, message: Message) -> None:
         """Send ``message`` from ``src`` to ``dest``.
 
         The message is charged to the traffic accountant at send time (a
-        dropped message still consumed bandwidth at the sender) and delivered
-        after a latency-model delay, unless a drop filter discards it or the
-        destination has crashed by delivery time.
+        dropped message still consumed bandwidth at the sender; a duplicated
+        one is charged once per copy) and delivered after a latency-model
+        delay, unless a drop filter discards it or the destination has
+        crashed by delivery time.
+
+        When no fault hook of any kind is installed (the common, chaos-free
+        case) the hook loops are skipped entirely and the single delivery
+        event is scheduled with pre-bound arguments -- no per-message closure
+        or label allocation.  The RNG draw sequence is identical on both
+        paths, so executions stay byte-for-byte deterministic.
         """
         self.messages_sent += 1
+        sim = self.sim
         self.stats.record(src, dest, message.kind, message.data_bytes, message.metadata_bytes)
+        # Messages addressed to a crashed process are lost even if the
+        # process restarts before they would arrive: a rebooted machine
+        # never sees requests sent during its outage.
+        dest_process = self.processes.get(dest)
+        sent_while_down = dest_process is not None and dest_process.crashed
+        if self._quiet:
+            delay = self.latency.sample(sim, src, dest)
+            if delay < 0.0:
+                delay = 0.0
+            sim.schedule(
+                delay, self._deliver, args=(src, dest, message, sent_while_down),
+                label=f"deliver {message.kind} {src}->{dest}" if sim.trace_enabled else "")
+            return
         for rule in self._drop_filters:
             if rule(src, dest, message):
                 self.messages_dropped += 1
@@ -137,23 +172,23 @@ class Network:
         extra_copies = 0
         for duplicator in self._duplicators:
             extra_copies += max(0, int(duplicator(src, dest, message)))
-        # Messages addressed to a crashed process are lost even if the
-        # process restarts before they would arrive: a rebooted machine
-        # never sees requests sent during its outage.
-        dest_process = self.processes.get(dest)
-        sent_while_down = dest_process is not None and dest_process.crashed
+        label = (f"deliver {message.kind} {src}->{dest}" if sim.trace_enabled else "")
         for copy_index in range(1 + extra_copies):
-            delay = self.latency.sample(self.sim, src, dest)
+            delay = self.latency.sample(sim, src, dest)
             for adjuster in self._delay_adjusters:
                 delay = adjuster(src, dest, message, delay)
             delay = max(0.0, delay)
             for observer in self._observers:
-                observer(src, dest, message, self.sim.now + delay)
+                observer(src, dest, message, sim.now + delay)
             if copy_index:
                 self.messages_duplicated += 1
-            self.sim.schedule(delay,
-                              lambda: self._deliver(src, dest, message, sent_while_down),
-                              label=f"deliver {message.kind} {src}->{dest}")
+                # Each extra copy occupies the wire too; without this the
+                # communication-cost benchmarks under-report under packet
+                # chaos.
+                self.stats.record(src, dest, message.kind,
+                                  message.data_bytes, message.metadata_bytes)
+            sim.schedule(delay, self._deliver,
+                         args=(src, dest, message, sent_while_down), label=label)
 
     def _deliver(self, src: ProcessId, dest: ProcessId, message: Message,
                  sent_while_down: bool = False) -> None:

@@ -87,14 +87,37 @@ class TrafficStats:
     # -------------------------------------------------------------- recording
     def record(self, src: ProcessId, dest: ProcessId, kind: str,
                data_bytes: int, metadata_bytes: int) -> None:
-        """Record one delivered message."""
-        self.global_record.add(data_bytes, metadata_bytes)
-        self.per_kind.setdefault(kind, TrafficRecord()).add(data_bytes, metadata_bytes)
-        self.per_link.setdefault((src, dest), TrafficRecord()).add(data_bytes, metadata_bytes)
-        for owner in (src, dest):
-            for scope in self._per_process_scopes.get(owner, ()):  # pragma: no branch
-                if scope.open:
-                    scope.record.add(data_bytes, metadata_bytes)
+        """Record one delivered message.
+
+        Called once per message on the wire (the network's hottest path), so
+        the counter updates are inlined rather than routed through
+        :meth:`TrafficRecord.add`, and the ``setdefault``-with-fresh-record
+        idiom is avoided -- it would allocate a throwaway
+        :class:`TrafficRecord` per call.
+        """
+        record = self.global_record
+        record.messages += 1
+        record.data_bytes += data_bytes
+        record.metadata_bytes += metadata_bytes
+        record = self.per_kind.get(kind)
+        if record is None:
+            record = self.per_kind[kind] = TrafficRecord()
+        record.messages += 1
+        record.data_bytes += data_bytes
+        record.metadata_bytes += metadata_bytes
+        link = (src, dest)
+        record = self.per_link.get(link)
+        if record is None:
+            record = self.per_link[link] = TrafficRecord()
+        record.messages += 1
+        record.data_bytes += data_bytes
+        record.metadata_bytes += metadata_bytes
+        scopes = self._per_process_scopes
+        if scopes:
+            for owner in (src, dest):
+                for scope in scopes.get(owner, ()):
+                    if scope.open:
+                        scope.record.add(data_bytes, metadata_bytes)
 
     # ---------------------------------------------------------------- scopes
     def open_scope(self, name: str, owner: ProcessId) -> OperationScope:

@@ -12,36 +12,81 @@ Given the same seed and the same schedule of API calls, two runs produce the
 exact same execution: ties in firing time are broken by insertion order, and
 all randomness (link latencies, workload inter-arrival times) is drawn from
 the simulator's single seeded :class:`random.Random` instance.
+
+Performance notes
+-----------------
+This module is the hottest path of the whole emulation (every message
+delivery and coroutine resumption is an event), so it trades a little
+uniformity for speed:
+
+* The heap stores ``(time, seq, event)`` tuples so ordering is decided by
+  native tuple comparison instead of rich-comparison calls on event objects;
+  :class:`Event` itself is a ``__slots__`` class.
+* :meth:`Simulator.call_soon` bypasses the heap entirely: same-time events
+  go through a FIFO lane (a deque) that is merged with the heap by
+  ``(time, seq)`` at pop time.  Coroutine resumptions -- the most frequent
+  event kind -- therefore cost an append/popleft instead of a heap push/pop.
+* Cancellation is lazy: a cancelled event stays queued and is skipped when
+  popped.  The simulator counts cancelled-but-queued events (so
+  :attr:`Simulator.pending_events` is exact) and compacts the heap when the
+  cancelled fraction grows past a threshold, bounding memory in workloads
+  that cancel many timers.
+* Callbacks can be scheduled with pre-bound positional ``args``, which lets
+  callers avoid allocating a fresh closure per event.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
+#: Compact the heap when more than this many queued events are cancelled and
+#: they make up over half the heap.
+_COMPACT_MIN_CANCELLED = 64
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback.
 
     Events are ordered by ``(time, seq)``; ``seq`` is a global insertion
     counter that makes simultaneous events fire in the order they were
-    scheduled, which keeps executions deterministic.
+    scheduled, which keeps executions deterministic.  The ordering lives in
+    the simulator's queue entries, not on the event object.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label", "_sim")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None],
+                 args: tuple = (), label: str = "", sim: "Optional[Simulator]" = None) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the event from firing (it stays in the queue but is skipped)."""
+        """Prevent the event from firing (it stays in the queue but is skipped).
+
+        The owning simulator keeps count of cancelled-but-queued events and
+        compacts its heap when they accumulate; cancelling an event that has
+        already fired (or was already cancelled) is a no-op.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq} {self.label!r}{state}>"
 
 
 class Simulator:
@@ -65,9 +110,12 @@ class Simulator:
     def __init__(self, seed: int = 0) -> None:
         self.rng = random.Random(seed)
         self._now: float = 0.0
-        self._queue: List[Event] = []
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._soon: "deque[Event]" = deque()
         self._seq: int = 0
         self._events_processed: int = 0
+        self._cancelled_events: int = 0
+        self._cancelled_pending: int = 0
         self._running = False
         self._trace: Optional[List[str]] = None
 
@@ -84,33 +132,107 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued.
+
+        Cancelled events linger in the queue until popped or compacted
+        (deletion is lazy), but they are not counted here.
+        """
+        return len(self._queue) + len(self._soon) - self._cancelled_pending
+
+    @property
+    def cancelled_events(self) -> int:
+        """Total number of queued events whose firing was prevented by
+        :meth:`Event.cancel` (cancelling an already-fired event is a no-op
+        and is not counted)."""
+        return self._cancelled_events
 
     # ------------------------------------------------------------- scheduling
-    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``callback`` to run ``delay`` time units from now.
+    def schedule(self, delay: float, callback: Callable[..., None], label: str = "",
+                 args: tuple = ()) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now.
 
-        Returns the :class:`Event`, which can be cancelled.
+        Returns the :class:`Event`, which can be cancelled.  Pre-binding
+        positional ``args`` here is cheaper than allocating a closure per
+        event on hot paths (message delivery, coroutine resumption).
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay} time units in the past")
-        return self.schedule_at(self._now + delay, callback, label=label)
+        return self.schedule_at(self._now + delay, callback, label=label, args=args)
 
-    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``callback`` at absolute virtual time ``time``."""
+    def schedule_at(self, time: float, callback: Callable[..., None], label: str = "",
+                    args: tuple = ()) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule an event at time {time} before the current time {self._now}"
             )
-        event = Event(time=time, seq=self._seq, callback=callback, label=label)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args, label, self)
+        heapq.heappush(self._queue, (time, seq, event))
         return event
 
-    def call_soon(self, callback: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``callback`` at the current time (after already-queued events at this time)."""
-        return self.schedule(0.0, callback, label=label)
+    def call_soon(self, callback: Callable[..., None], label: str = "",
+                  args: tuple = ()) -> Event:
+        """Schedule ``callback`` at the current time (after already-queued events at this time).
+
+        Same-time events take the FIFO fast lane instead of the heap; the
+        two queues are merged by ``(time, seq)`` when events are popped, so
+        ordering is exactly as if everything went through the heap.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(self._now, seq, callback, args, label, self)
+        self._soon.append(event)
+        return event
+
+    # --------------------------------------------------- lazy-deletion upkeep
+    def _note_cancelled(self) -> None:
+        """Account for one newly cancelled, still-queued event."""
+        self._cancelled_events += 1
+        self._cancelled_pending += 1
+        if (self._cancelled_pending > _COMPACT_MIN_CANCELLED
+                and self._cancelled_pending * 2 > len(self._queue) + len(self._soon)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from both queues and rebuild the heap.
+
+        Mutates the queues in place so that the inlined run loop's local
+        bindings stay valid across a compaction.
+        """
+        live = [entry for entry in self._queue if not entry[2].cancelled]
+        self._queue[:] = live
+        heapq.heapify(self._queue)
+        if any(event.cancelled for event in self._soon):
+            live_soon = [event for event in self._soon if not event.cancelled]
+            self._soon.clear()
+            self._soon.extend(live_soon)
+        self._cancelled_pending = 0
+
+    def _pop_next(self) -> Optional[Event]:
+        """Pop the globally next live event, merging the heap and FIFO lanes."""
+        queue = self._queue
+        soon = self._soon
+        while queue or soon:
+            if soon:
+                if queue:
+                    head = queue[0]
+                    first = soon[0]
+                    if (head[0], head[1]) < (first.time, first.seq):
+                        event = heapq.heappop(queue)[2]
+                    else:
+                        event = soon.popleft()
+                else:
+                    event = soon.popleft()
+            else:
+                event = heapq.heappop(queue)[2]
+            if event.cancelled:
+                self._cancelled_pending -= 1
+                event._sim = None
+                continue
+            return event
+        return None
 
     # ------------------------------------------------------------------- run
     def step(self) -> bool:
@@ -119,17 +241,21 @@ class Simulator:
         Returns ``True`` if an event was processed, ``False`` if the queue
         was empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_processed += 1
-            if self._trace is not None and event.label:
-                self._trace.append(f"{event.time:.3f} {event.label}")
-            event.callback()
-            return True
-        return False
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_processed += 1
+        if self._trace is not None and event.label:
+            self._trace.append(f"{event.time:.3f} {event.label}")
+        event._sim = None  # fired: a later cancel() must not skew counters
+        callback = event.callback
+        args = event.args
+        if args:
+            callback(*args)
+        else:
+            callback()
+        return True
 
     def run(self, max_events: int = 10_000_000) -> None:
         """Run until the event queue drains or ``max_events`` events fire.
@@ -141,9 +267,43 @@ class Simulator:
             livelock in a protocol under test.
         """
         self._running = True
+        # The loop is inlined (no step() call per event, locals for the hot
+        # names) because it dispatches every event of every execution.
+        queue = self._queue
+        soon = self._soon
+        heappop = heapq.heappop
         processed = 0
         try:
-            while self.step():
+            while True:
+                if soon:
+                    if queue:
+                        head = queue[0]
+                        first = soon[0]
+                        if (head[0], head[1]) < (first.time, first.seq):
+                            event = heappop(queue)[2]
+                        else:
+                            event = soon.popleft()
+                    else:
+                        event = soon.popleft()
+                elif queue:
+                    event = heappop(queue)[2]
+                else:
+                    break
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    event._sim = None
+                    continue
+                self._now = event.time
+                self._events_processed += 1
+                if self._trace is not None and event.label:
+                    self._trace.append(f"{event.time:.3f} {event.label}")
+                event._sim = None
+                callback = event.callback
+                args = event.args
+                if args:
+                    callback(*args)
+                else:
+                    callback()
                 processed += 1
                 if processed >= max_events:
                     raise SimulationError(
@@ -162,14 +322,29 @@ class Simulator:
         if time < self._now:
             raise SimulationError(f"cannot run until {time}, already at {self._now}")
         processed = 0
-        while self._queue:
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if event.time > time:
+        while True:
+            queue = self._queue
+            soon = self._soon
+            # Drop cancelled heads first: the peek below must see the next
+            # *live* event, or step() could fire an event past the limit.
+            while soon and soon[0].cancelled:
+                soon.popleft()
+                self._cancelled_pending -= 1
+            while queue and queue[0][2].cancelled:
+                heapq.heappop(queue)
+                self._cancelled_pending -= 1
+            if soon:
+                next_time = soon[0].time
+                if queue and (queue[0][0], queue[0][1]) < (next_time, soon[0].seq):
+                    next_time = queue[0][0]
+            elif queue:
+                next_time = queue[0][0]
+            else:
                 break
-            self.step()
+            if next_time > time:
+                break
+            if not self.step():  # pragma: no cover - head exists, so step fires
+                break
             processed += 1
             if processed >= max_events:
                 raise SimulationError(
@@ -206,6 +381,15 @@ class Simulator:
     def trace(self) -> List[str]:
         """The recorded trace lines (empty unless :meth:`enable_trace` was called)."""
         return list(self._trace or [])
+
+    @property
+    def trace_enabled(self) -> bool:
+        """Whether labelled events are being recorded.
+
+        Hot paths use this to skip building label strings that nobody will
+        ever read.
+        """
+        return self._trace is not None
 
     # -------------------------------------------------------------- utilities
     def uniform(self, low: float, high: float) -> float:

@@ -161,7 +161,7 @@ class Timer(SimFuture):
 
     def __init__(self, sim: Simulator, delay: float, label: str = "timer") -> None:
         super().__init__(sim, label=label)
-        self.event = sim.schedule(delay, lambda: self.try_set_result(None), label=label)
+        self.event = sim.schedule(delay, self.try_set_result, label=label, args=(None,))
 
     def cancel(self) -> None:
         """Cancel the underlying event; the future never resolves."""
@@ -285,19 +285,27 @@ class Coroutine:
             )
             return
 
-        def resume(fut: SimFuture) -> None:
-            if self._aborted or self.completion.done():
-                return
-            # Resume on a fresh event so that deep chains do not recurse and
-            # so that all resumptions are ordered by the simulator.
-            if fut.exception() is not None:
-                self.sim.call_soon(lambda: self._advance(None, fut.exception()),
-                                   label=f"{self.label}:resume-exc")
-            else:
-                self.sim.call_soon(lambda: self._advance(fut.result(), None),
-                                   label=f"{self.label}:resume")
+        future.add_done_callback(self._resume)
 
-        future.add_done_callback(resume)
+    def _resume(self, fut: SimFuture) -> None:
+        """Schedule the coroutine's next step once an awaited future is done.
+
+        Resumes on a fresh event so that deep chains do not recurse and all
+        resumptions are ordered by the simulator.  This is a bound method
+        (not a per-yield closure) and the resume event rides the simulator's
+        same-time FIFO lane, because one resumption happens per awaited
+        future of every operation -- it is among the hottest paths there are.
+        """
+        if self._aborted or self.completion.done():
+            return
+        sim = self.sim
+        exc = fut.exception()
+        if exc is not None:
+            sim.call_soon(self._advance, args=(None, exc),
+                          label=f"{self.label}:resume-exc" if sim.trace_enabled else "")
+        else:
+            sim.call_soon(self._advance, args=(fut.result(), None),
+                          label=f"{self.label}:resume" if sim.trace_enabled else "")
 
     # ------------------------------------------------------------ future API
     def done(self) -> bool:

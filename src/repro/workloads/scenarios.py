@@ -169,6 +169,8 @@ class ChaosRunResult:
     engine: ChaosEngine
     schedule: Schedule
     reconfig_errors: List[str] = dataclass_field(default_factory=list)
+    #: cProfile rendering of the run, when ``run_scenario(..., profile=True)``.
+    profile_summary: Optional[str] = None
 
     @property
     def history(self):
@@ -233,13 +235,18 @@ def get_scenario(name: str) -> ChaosScenario:
         ) from None
 
 
-def run_scenario(name: str, seed: int = 0) -> ChaosRunResult:
+def run_scenario(name: str, seed: int = 0, profile: bool = False) -> ChaosRunResult:
     """Execute one registered scenario end-to-end, deterministically.
 
     The run seed fans out into three independent streams -- simulator
     (latencies), chaos engine (drop/duplicate coin flips, jitter) and
     workload (think times) -- so two calls with equal ``(name, seed)``
     produce byte-identical histories and chaos logs.
+
+    With ``profile=True`` the simulation loop runs under :mod:`cProfile`;
+    a cumulative-time summary is printed and kept on the result's
+    :attr:`~ChaosRunResult.profile_summary`.  Profiling slows the run but
+    does not perturb it (the execution stays byte-identical).
     """
     scenario = get_scenario(name)
     deployment = scenario.deployment(seed)
@@ -256,7 +263,23 @@ def run_scenario(name: str, seed: int = 0) -> ChaosRunResult:
 
     driver = ClosedLoopDriver(deployment, scenario.workload,
                               rng=random.Random(f"workload-{name}-{seed}"))
-    workload = driver.run()
+    profile_summary = None
+    if profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        workload = driver.run()
+        profiler.disable()
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(25)
+        profile_summary = stream.getvalue()
+        print(f"--- cProfile of run_scenario({name!r}, seed={seed}) ---")
+        print(profile_summary)
+    else:
+        workload = driver.run()
     reconfig_errors = []
     if reconfig_session is not None:
         if reconfig_session.exception() is not None:
@@ -265,7 +288,8 @@ def run_scenario(name: str, seed: int = 0) -> ChaosRunResult:
             reconfig_errors.append("reconfiguration session never completed (stalled)")
     return ChaosRunResult(scenario=scenario, seed=seed, deployment=deployment,
                           workload=workload, engine=engine, schedule=schedule,
-                          reconfig_errors=reconfig_errors)
+                          reconfig_errors=reconfig_errors,
+                          profile_summary=profile_summary)
 
 
 def _spawn_reconfig_session(deployment: AresDeployment, scenario: ChaosScenario):

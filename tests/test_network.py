@@ -309,3 +309,96 @@ class TestTrafficScopes:
         Collector(server_id(0), network)
         a.send(server_id(0), Message(kind="SPECIAL-KIND"))
         assert "SPECIAL-KIND" in network.stats.summary()
+
+
+class TestFastPathAndDuplicateAccounting:
+    """PR 2: the zero-chaos fast path and per-copy traffic accounting."""
+
+    def _pair(self, sim):
+        network = Network(sim, latency=FixedLatency(1.0))
+        a = Collector(server_id(0), network)
+        b = Collector(server_id(1), network)
+        return network, a, b
+
+    def test_network_starts_quiet(self, sim):
+        network, a, b = self._pair(sim)
+        assert network._quiet is True
+
+    def test_hooks_toggle_the_fast_path(self, sim):
+        network, a, b = self._pair(sim)
+        rule = lambda src, dest, message: False
+        network.add_drop_filter(rule)
+        assert network._quiet is False
+        network.remove_drop_filter(rule)
+        assert network._quiet is True
+        adjuster = lambda src, dest, message, delay: delay
+        network.add_delay_adjuster(adjuster)
+        assert network._quiet is False
+        network.remove_delay_adjuster(adjuster)
+        assert network._quiet is True
+        duplicator = lambda src, dest, message: 0
+        network.add_duplicator(duplicator)
+        assert network._quiet is False
+        network.remove_duplicator(duplicator)
+        assert network._quiet is True
+
+    def test_fast_path_delivers_and_charges_stats(self, sim):
+        network, a, b = self._pair(sim)
+        a.send(b.pid, Message(kind="PUT", data_bytes=100))
+        sim.run()
+        assert len(b.received) == 1
+        assert network.messages_delivered == 1
+        assert network.stats.global_record.messages == 1
+        assert network.stats.global_record.data_bytes == 100
+
+    def test_fast_path_respects_crashed_destination(self, sim):
+        network, a, b = self._pair(sim)
+        b.crash()
+        a.send(b.pid, Message(kind="PUT", data_bytes=10))
+        sim.run()
+        assert b.received == []
+        assert network.messages_dropped == 1
+        # Send-time bandwidth is still charged, as on the slow path.
+        assert network.stats.global_record.messages == 1
+
+    def test_duplicated_copies_consume_bandwidth(self, sim):
+        network, a, b = self._pair(sim)
+        network.add_duplicator(lambda src, dest, message: 2)
+        a.send(b.pid, Message(kind="PUT", data_bytes=100, metadata_bytes=16))
+        sim.run()
+        # 1 original + 2 copies: all delivered, all on the wire.
+        assert len(b.received) == 3
+        assert network.messages_duplicated == 2
+        assert network.stats.global_record.messages == 3
+        assert network.stats.global_record.data_bytes == 300
+        assert network.stats.global_record.metadata_bytes == 48
+        assert network.stats.by_kind("PUT").messages == 3
+        assert network.stats.link(a.pid, b.pid).messages == 3
+
+    def test_dropped_message_still_charged_once(self, sim):
+        network, a, b = self._pair(sim)
+        network.add_drop_filter(lambda src, dest, message: True)
+        network.add_duplicator(lambda src, dest, message: 5)
+        a.send(b.pid, Message(kind="PUT", data_bytes=100))
+        sim.run()
+        # Dropped before duplication: only the send-time charge applies.
+        assert b.received == []
+        assert network.stats.global_record.messages == 1
+        assert network.stats.global_record.data_bytes == 100
+
+    def test_fast_and_slow_paths_deliver_identically(self):
+        def run(with_noop_hook):
+            sim = Simulator(seed=42)
+            network = Network(sim, latency=UniformLatency(1.0, 2.0))
+            a = Collector(server_id(0), network)
+            b = Collector(server_id(1), network)
+            if with_noop_hook:
+                # A no-op adjuster forces the slow path without changing
+                # behaviour; the delivery schedule must match the fast path.
+                network.add_delay_adjuster(lambda src, dest, message, delay: delay)
+            for i in range(50):
+                a.send(b.pid, Message(kind="PING", data_bytes=i))
+            sim.run()
+            return [(m.data_bytes, round(sim.now, 6)) for _s, m in b.received]
+
+        assert run(False) == run(True)

@@ -48,6 +48,37 @@ class TestScheduling:
         sim.run()
         assert fired == []
 
+    def test_args_prebinding(self, sim: Simulator):
+        fired = []
+        sim.schedule(1.0, fired.append, args=("a",))
+        sim.call_soon(fired.append, args=("now",))
+        sim.schedule_at(2.0, lambda x, y: fired.append(x + y), args=(1, 2))
+        sim.run()
+        assert fired == ["now", "a", 3]
+
+    def test_call_soon_merges_with_heap_by_insertion_order(self, sim: Simulator):
+        # call_soon rides a FIFO fast lane; zero-delay heap events scheduled
+        # later must still fire later (global (time, seq) order).
+        fired = []
+        sim.call_soon(lambda: fired.append("fifo-1"))
+        sim.schedule(0.0, lambda: fired.append("heap-1"))
+        sim.call_soon(lambda: fired.append("fifo-2"))
+        sim.schedule(1.0, lambda: fired.append("later"))
+        sim.run()
+        assert fired == ["fifo-1", "heap-1", "fifo-2", "later"]
+
+    def test_call_soon_during_event_runs_before_later_times(self, sim: Simulator):
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.call_soon(lambda: fired.append("soon"))
+
+        sim.schedule(1.0, outer)
+        sim.schedule(2.0, lambda: fired.append("after"))
+        sim.run()
+        assert fired == ["outer", "soon", "after"]
+
     def test_call_soon_runs_after_already_queued_same_time(self, sim: Simulator):
         fired = []
         sim.schedule(0.0, lambda: fired.append("first"))
@@ -100,6 +131,60 @@ class TestRunControl:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_processed == 4
+
+
+class TestCancellationAccounting:
+    def test_pending_events_excludes_cancelled(self, sim: Simulator):
+        live = sim.schedule(1.0, lambda: None)
+        doomed = sim.schedule(2.0, lambda: None)
+        fifo_doomed = sim.call_soon(lambda: None)
+        assert sim.pending_events == 3
+        doomed.cancel()
+        fifo_doomed.cancel()
+        assert sim.pending_events == 1
+        assert sim.cancelled_events == 2
+        sim.run()
+        assert sim.events_processed == 1
+        assert sim.pending_events == 0
+        assert live.cancelled is False
+
+    def test_cancel_is_idempotent(self, sim: Simulator):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.cancelled_events == 1
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_does_not_skew_counters(self, sim: Simulator):
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        event.cancel()  # already fired: a no-op, not a cancellation
+        assert sim.pending_events == 1
+        assert sim.cancelled_events == 0
+
+    def test_mass_cancellation_compacts_the_heap(self, sim: Simulator):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+        for event in events[:400]:
+            event.cancel()
+        # Lazy deletion must have compacted: the queue holds far fewer
+        # entries than were scheduled, and the live count is exact.
+        assert sim.pending_events == 100
+        assert len(sim._queue) < 250
+        assert sim.cancelled_events == 400
+        sim.run()
+        assert sim.events_processed == 100
+
+    def test_cancelled_events_skipped_by_run_until(self, sim: Simulator):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2)).cancel()
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run_until(2.5)
+        assert fired == [1]
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == [1, 3]
 
 
 class TestDeterminism:

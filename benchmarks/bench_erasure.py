@@ -20,11 +20,14 @@ from repro.analysis.report import Table
 from repro.common.values import Value
 from repro.erasure.gf256 import gf_matmul_vec, gf_matmul_vec_reference
 from repro.erasure.matrix import matrix_invert, systematic_generator
-from repro.erasure.rs import ReedSolomonCode
+from repro.erasure.rs import ReedSolomonCode, decode_cache_clear, decode_cache_info
 
 PAYLOAD = 1 << 16  # 64 KiB
 QUICK_PAYLOAD = 1 << 12  # 4 KiB
 PARAMETERS = [(3, 2), (6, 4), (9, 6), (12, 8)]
+#: Value sizes for the throughput-by-size sweep: 1 KiB to 1 MiB.
+THROUGHPUT_SIZES = [1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20]
+QUICK_THROUGHPUT_SIZES = [1 << 10, 1 << 14]
 
 
 def encode_decode_once(n: int, k: int, size: int = PAYLOAD):
@@ -113,6 +116,50 @@ def test_gf_matmul_vectorization_speedup(benchmark, quick):
     bench_shards = [rng.integers(0, 256, size=payload // 8).astype(np.uint8)
                     for _ in range(8)]
     benchmark(lambda: gf_matmul_vec(bench_generator, bench_shards))
+
+
+@pytest.mark.experiment("E9")
+def test_throughput_across_value_sizes(benchmark, quick):
+    """Encode/decode throughput from 1 KiB to 1 MiB on the [6, 4] code.
+
+    Decode is timed on the worst-case survivor set (parity-heavy, a dense
+    decode matrix) with the inverse cache cold for the first call and warm
+    afterwards; the cache hit rate of the timed loop is reported alongside.
+    """
+    n, k = 6, 4
+    code = ReedSolomonCode(n, k)
+    sizes = QUICK_THROUGHPUT_SIZES if quick else THROUGHPUT_SIZES
+    repeats = 3 if quick else 5
+    table = Table(
+        f"E9: Reed-Solomon [{n}, {k}] throughput by value size "
+        "(decode from the parity-heavy survivor set)",
+        ["value size", "encode ms", "encode MB/s", "decode ms", "decode MB/s",
+         "decode cache hit rate"],
+    )
+    for size in sizes:
+        value = Value.of_size(size, label="bench")
+        elements = code.encode(value)
+        survivors = elements[n - k:]
+        t_enc = _time(lambda: code.encode(value), repeats)
+        decode_cache_clear()
+        code.decode(survivors)  # cold call: builds and caches the inverse
+        warm_base = decode_cache_info()
+        t_dec = _time(lambda: code.decode(survivors), repeats)
+        info = decode_cache_info()
+        # Rate over the timed loop only (the cold call's miss is excluded).
+        timed_hits = info["hits"] - warm_base["hits"]
+        timed_misses = info["misses"] - warm_base["misses"]
+        hit_rate = timed_hits / max(1, timed_hits + timed_misses)
+        mb = size / (1 << 20)
+        table.add_row(f"{size >> 10} KiB",
+                      round(t_enc * 1e3, 3), round(mb / t_enc, 1),
+                      round(t_dec * 1e3, 3), round(mb / t_dec, 1),
+                      f"{hit_rate:.0%}")
+        assert code.decode(survivors).payload == value.payload
+        # Repeated decodes from one quorum must hit the memoised inverse.
+        assert info["hits"] >= repeats
+    table.print()
+    benchmark(lambda: code.decode(survivors))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,130 @@
+"""E10 -- Scale-out sweep campaigns: serial vs parallel wall clock.
+
+Runs the full chaos-scenario registry as a multi-seed campaign twice --
+serially (``jobs=1``) and over a process pool -- and reports the wall-clock
+speedup, the per-cell timings and the determinism gate: every cell's
+``History.signature()`` hash must be byte-identical between the two
+executions.  Results are persisted to ``BENCH_SWEEP.json`` at the repository
+root (the scale-out counterpart of ``BENCH_CORE.json``).
+
+The >=2.5x speedup assertion only arms on hosts with at least four usable
+cores and in full mode; the signature gate always runs.  ``--quick`` shrinks
+the grid to 2 scenarios x 2 seeds with a 2-worker pool for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.sweep import SweepGrid, campaign, resolve_scenarios
+from repro.sweep.engine import usable_cores
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+#: The committed full-grid baseline; quick runs write next to it instead so
+#: a CI smoke (or a developer's --quick) never clobbers the 52-cell numbers
+#: cited by docs/PERFORMANCE.md.
+REPORT_PATH = _REPO_ROOT / "BENCH_SWEEP.json"
+QUICK_REPORT_PATH = _REPO_ROOT / "bench-sweep-quick.json"
+
+FULL_SEEDS = (0, 1, 2, 3)
+QUICK_SEEDS = (0, 1)
+QUICK_SCENARIOS = ("abd_crash_minority", "treas_crash_server")
+
+#: Floor for the parallel speedup on hosts where parallelism is physically
+#: available (the ISSUE 3 acceptance bar).
+SPEEDUP_FLOOR = 2.5
+
+
+@pytest.mark.experiment("E10")
+def test_sweep_serial_vs_parallel(quick, jobs):
+    """Campaign the registry serially and pooled; gate determinism, report speedup."""
+    scenarios = QUICK_SCENARIOS if quick else resolve_scenarios(["all"])
+    grid = SweepGrid(scenarios=tuple(scenarios),
+                     seeds=QUICK_SEEDS if quick else FULL_SEEDS)
+
+    serial = campaign(grid, jobs=1)
+    parallel = campaign(grid, jobs=jobs)
+
+    # Every cell must pass verification in both executions.
+    for result, mode in ((serial, "serial"), (parallel, f"jobs={jobs}")):
+        failures = result.failures()
+        assert not failures, (
+            f"{mode} campaign failed cells: "
+            f"{[(r.cell_id, r.failure) for r in failures]}")
+
+    # Determinism gate: pooled workers reproduce the serial histories
+    # hash-for-hash (the signature covers every operation *and* the chaos log).
+    serial_map = serial.signature_map()
+    parallel_map = parallel.signature_map()
+    assert serial_map == parallel_map, (
+        "sweep cells diverged between serial and pooled execution: "
+        + ", ".join(sorted(cell for cell in serial_map
+                           if parallel_map.get(cell) != serial_map[cell])))
+
+    speedup = serial.wall_clock_sec / parallel.wall_clock_sec
+    cores = usable_cores()
+
+    table = Table(
+        f"E10: campaign wall clock, {len(serial.records)} cells "
+        f"({len(grid.scenarios)} scenarios x {len(grid.seeds)} seeds), "
+        f"{cores} usable cores",
+        ["execution", "wall clock s", "cell-time sum s", "speedup"],
+    )
+    cell_sum = sum(r.wall_clock_sec for r in serial.records)
+    table.add_row("serial", round(serial.wall_clock_sec, 3), round(cell_sum, 3), 1.0)
+    table.add_row(f"pool jobs={jobs}", round(parallel.wall_clock_sec, 3),
+                  round(sum(r.wall_clock_sec for r in parallel.records), 3),
+                  round(speedup, 2))
+    table.print()
+
+    slowest = sorted(serial.records, key=lambda r: -r.wall_clock_sec)[:5]
+    detail = Table(
+        "E10: slowest cells (serial), latency percentiles per cell",
+        ["cell", "wall s", "ops", "read p50", "read p99", "write p50", "write p99"],
+    )
+    for record in slowest:
+        detail.add_row(record.cell_id, round(record.wall_clock_sec, 3),
+                       record.history_ops,
+                       record.read_latency["p50"], record.read_latency["p99"],
+                       record.write_latency["p50"], record.write_latency["p99"])
+    detail.print()
+
+    report = {
+        "schema": 1,
+        "generated_by": "benchmarks/bench_sweep.py",
+        "quick": quick,
+        "python": platform.python_version(),
+        "usable_cores": cores,
+        "jobs": jobs,
+        "grid": serial.grid,
+        "serial_wall_clock_sec": round(serial.wall_clock_sec, 4),
+        "parallel_wall_clock_sec": round(parallel.wall_clock_sec, 4),
+        "speedup": round(speedup, 2),
+        "signature_gate": "identical",
+        "checker_methods": serial.checker_method_counts(),
+        "cells": [record.to_json() for record in serial.records],
+    }
+    report_path = QUICK_REPORT_PATH if quick else REPORT_PATH
+    report_path.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {report_path} (speedup {speedup:.2f}x at jobs={jobs}, "
+          f"{cores} usable cores)")
+
+    # The speedup floor is only meaningful where the hardware can deliver it.
+    if not quick and jobs >= 4 and cores >= 4:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"jobs={jobs} speedup {speedup:.2f}x is below the "
+            f"{SPEEDUP_FLOOR}x floor on a {cores}-core host")
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from conftest import main
+
+    raise SystemExit(main(__file__))

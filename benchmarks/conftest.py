@@ -27,6 +27,11 @@ def pytest_addoption(parser):
         "--quick", action="store_true", default=False,
         help="shrink payloads and parameter sweeps so a smoke run finishes in seconds",
     )
+    parser.addoption(
+        "--jobs", action="store", type=int, default=None,
+        help="worker-pool size for the sweep benchmark (default: available "
+             "cores capped at 4 in full mode, 2 with --quick)",
+    )
 
 
 def pytest_configure(config):
@@ -37,6 +42,19 @@ def pytest_configure(config):
 def quick(request) -> bool:
     """Whether the benchmark should run its reduced CI smoke variant."""
     return request.config.getoption("--quick")
+
+
+@pytest.fixture
+def jobs(request, quick) -> int:
+    """Pool size for ``bench_sweep.py`` (``--jobs``, else a host-sized default)."""
+    explicit = request.config.getoption("--jobs")
+    if explicit is not None:
+        return max(1, explicit)
+    from repro.sweep import default_jobs
+
+    # At least 2 so the pooled path is always exercised, even on one core
+    # (where the speedup assertion is skipped but the determinism gate runs).
+    return min(2 if quick else 4, max(2, default_jobs()))
 
 
 def main(module_file: str, argv=None) -> int:

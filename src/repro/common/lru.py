@@ -1,0 +1,65 @@
+"""A minimal bounded LRU mapping with hit/miss accounting.
+
+Shared by the interned ``Value.of_size`` payload cache and the
+Reed-Solomon decode-inverse cache (and any future memoisation on a hot
+path): single-threaded, deterministic, no TTLs -- just ``get`` /
+``put`` / LRU eviction at a fixed capacity, with the counters the
+benchmarks report.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generic, Optional, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class BoundedLRU(Generic[K, V]):
+    """An ``OrderedDict``-backed LRU cache with a hard entry bound."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("LRU maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: K) -> Optional[V]:
+        """The cached value (refreshed as most-recent) or ``None``; counts."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value  # type: ignore[return-value]
+
+    def put(self, key: K, value: V) -> V:
+        """Insert (or refresh) ``key``, evicting the least-recent overflow."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> Dict[str, int]:
+        """The counters every cache-reporting surface exposes."""
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._entries), "maxsize": self.maxsize}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:  # no counter traffic
+        return key in self._entries

@@ -11,7 +11,26 @@ identify which write produced a value.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
+
+from repro.common.lru import BoundedLRU
+
+#: Interned ``of_size`` payloads: ``(size, fill) -> bytes``.  Workload storms
+#: write thousands of values that differ only in their label; sharing the
+#: (immutable) payload bytes makes each write O(1) in allocations instead of
+#: O(size).  Bounded LRU so sweeping many distinct sizes cannot pin
+#: arbitrarily many large buffers.
+_PAYLOAD_CACHE: BoundedLRU[Tuple[int, int], bytes] = BoundedLRU(maxsize=64)
+
+
+def payload_cache_info() -> Dict[str, int]:
+    """Counters and occupancy of the interned ``of_size`` payload cache."""
+    return _PAYLOAD_CACHE.info()
+
+
+def payload_cache_clear() -> None:
+    """Drop every interned payload (test isolation hook)."""
+    _PAYLOAD_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -47,11 +66,18 @@ class Value:
         """Create a synthetic value of exactly ``size`` bytes.
 
         Used by workload generators and benchmarks where only the size of
-        the value matters.
+        the value matters.  Payloads are interned by ``(size, fill)``: two
+        calls with equal parameters share one immutable ``bytes`` object, so
+        a storm of same-size writes allocates payload bytes once per distinct
+        size, not once per operation.
         """
         if size < 0:
             raise ValueError("value size must be non-negative")
-        return cls(payload=bytes([fill % 256]) * size, label=label)
+        key = (size, fill % 256)
+        payload = _PAYLOAD_CACHE.get(key)
+        if payload is None:
+            payload = _PAYLOAD_CACHE.put(key, bytes([fill % 256]) * size)
+        return cls(payload=payload, label=label)
 
     @classmethod
     def from_text(cls, text: str, label: Optional[str] = None) -> "Value":

@@ -142,6 +142,31 @@ def gf_matmul_vec_reference(matrix: np.ndarray, shards: List[np.ndarray]) -> Lis
     return outputs
 
 
+def gf_matmul(matrix: np.ndarray, block: np.ndarray) -> np.ndarray:
+    """Multiply a ``(rows, cols)`` GF(2^8) matrix by a ``(cols, length)`` block.
+
+    The 2D form of :func:`gf_matmul_vec`: one table-lookup expression over
+    the whole block, no per-row dispatch.  ``EXP[L[r, c] + S[c, i]]`` is
+    XOR-reduced over the column axis (zero operands map to a sentinel log
+    whose sums index the zeroed tail of the extended exp table).  Used by
+    the erasure data path where the caller already holds the shards as a
+    single matrix (:func:`repro.erasure.striping.split_into_matrix`), so
+    encode is a single matmul over the parity rows and decode a single
+    matmul over the cached inverse.
+    """
+    rows, cols = matrix.shape
+    if block.shape[0] != cols:
+        raise ValueError(
+            f"matrix has {cols} columns but the shard block has {block.shape[0]} rows")
+    length = block.shape[1]
+    if rows == 0 or length == 0:
+        return np.zeros((rows, length), dtype=np.uint8)
+    coeffs = np.ascontiguousarray(matrix, dtype=np.uint8)
+    shard_block = np.asarray(block, dtype=np.uint8)
+    log_sum = _VLOG_TABLE[coeffs][:, :, None] + _VLOG_TABLE[shard_block][None, :, :]
+    return np.bitwise_xor.reduce(_VEXP_TABLE[log_sum], axis=1)
+
+
 def gf_matmul_vec(matrix: np.ndarray, shards: List[np.ndarray]) -> List[np.ndarray]:
     """Multiply a GF(2^8) matrix by a "vector" of byte shards.
 

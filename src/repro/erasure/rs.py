@@ -6,6 +6,19 @@ decoding inverts the ``k x k`` submatrix corresponding to the ``k`` surviving
 fragments.  Any ``k`` of the ``n`` coded elements reconstruct the value,
 which is exactly the MDS property the paper relies on.
 
+The data path is allocation-lean:
+
+* the payload is striped into a ``(k, shard_len)`` reshape *view* (no
+  per-shard copy; see :mod:`repro.erasure.striping`);
+* because the generator is systematic, the first ``k`` coded elements are
+  the data shards themselves and only the ``n - k`` parity rows go through
+  one dense GF matmul (:func:`repro.erasure.gf256.gf_matmul`);
+* decode inverses are memoised in a bounded LRU keyed by the sorted
+  surviving-index tuple -- TREAS reads repeatedly decode from the same
+  quorum, so after the first decode the Gauss-Jordan elimination disappears
+  from the hot path entirely (and the all-data-shards subset skips the
+  matmul too, since its decode matrix is the identity).
+
 This is the stand-in for pyeclib/liberasurecode in the original deployment;
 the storage and communication accounting (fragment size ``|v|/k``) is
 identical, only raw encode/decode throughput differs (see
@@ -19,15 +32,32 @@ from typing import Dict, Iterable, List, Tuple
 import numpy as np
 
 from repro.common.errors import DecodeError
+from repro.common.lru import BoundedLRU
 from repro.common.values import Value
-from repro.erasure.gf256 import gf_matmul_vec
+from repro.erasure.gf256 import gf_matmul
 from repro.erasure.interface import CodedElement, ErasureCode
 from repro.erasure.matrix import matrix_invert, systematic_generator
-from repro.erasure.striping import join_shards, split_into_shards
+from repro.erasure.striping import join_matrix, split_into_matrix
 
 # Generator matrices only depend on (n, k); cache them across code instances
 # because deployments create one code object per configuration.
 _GENERATOR_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+#: Memoised decode matrices: ``(n, k, surviving indices) -> inverse``.
+#: Shared across code instances (the key pins the generator) and bounded so
+#: a sweep over many [n, k] settings cannot grow it without limit.
+_DECODE_CACHE: BoundedLRU[Tuple[int, int, Tuple[int, ...]], np.ndarray] = (
+    BoundedLRU(maxsize=256))
+
+
+def decode_cache_info() -> Dict[str, int]:
+    """Hit/miss counters and occupancy of the decode-inverse cache."""
+    return _DECODE_CACHE.info()
+
+
+def decode_cache_clear() -> None:
+    """Drop every memoised decode inverse and reset the counters."""
+    _DECODE_CACHE.clear()
 
 
 class ReedSolomonCode(ErasureCode):
@@ -54,19 +84,39 @@ class ReedSolomonCode(ErasureCode):
         if key not in _GENERATOR_CACHE:
             _GENERATOR_CACHE[key] = systematic_generator(n, k)
         self.generator = _GENERATOR_CACHE[key]
+        # The generator is systematic: rows [0, k) are the identity, so only
+        # the parity rows ever need a matmul.
+        self._parity_rows = self.generator[k:, :]
+        self._identity_indices = tuple(range(k))
 
     # ---------------------------------------------------------------- encode
     def encode(self, value: Value) -> List[CodedElement]:
         """Encode ``value`` into ``n`` coded elements ``Φ_1(v) ... Φ_n(v)``."""
-        shards = split_into_shards(value.payload, self.k)
-        coded = gf_matmul_vec(self.generator, shards)
-        return [
-            CodedElement(index=i, payload=coded[i].tobytes(),
-                         original_size=value.size, label=value.label)
-            for i in range(self.n)
+        block = split_into_matrix(value.payload, self.k)
+        size, label = value.size, value.label
+        elements = [
+            CodedElement(index=i, payload=block[i].tobytes(),
+                         original_size=size, label=label)
+            for i in range(self.k)
         ]
+        if self.n > self.k:
+            parity = gf_matmul(self._parity_rows, block)
+            elements.extend(
+                CodedElement(index=self.k + j, payload=parity[j].tobytes(),
+                             original_size=size, label=label)
+                for j in range(self.n - self.k)
+            )
+        return elements
 
     # ---------------------------------------------------------------- decode
+    def _decode_matrix(self, indices: Tuple[int, ...]) -> np.ndarray:
+        """The inverse of the generator rows at ``indices`` (memoised)."""
+        key = (self.n, self.k, indices)
+        cached = _DECODE_CACHE.get(key)
+        if cached is not None:
+            return cached
+        return _DECODE_CACHE.put(key, matrix_invert(self.generator[list(indices), :]))
+
     def decode(self, elements: Iterable[CodedElement]) -> Value:
         """Reconstruct the value from any ``k`` distinct coded elements."""
         unique: Dict[int, CodedElement] = {}
@@ -93,11 +143,14 @@ class ReedSolomonCode(ErasureCode):
             )
         original_size = chosen[0].original_size
 
-        indices = [e.index for e in chosen]
-        submatrix = self.generator[indices, :]
-        decode_matrix = matrix_invert(submatrix)
-        fragments = [np.frombuffer(e.payload, dtype=np.uint8).copy() for e in chosen]
-        data_shards = gf_matmul_vec(decode_matrix, fragments)
-        payload = join_shards(data_shards, original_size)
+        indices = tuple(e.index for e in chosen)
+        fragments = np.stack(
+            [np.frombuffer(e.payload, dtype=np.uint8) for e in chosen])
+        if indices == self._identity_indices:
+            # All k data shards survived: the decode matrix is the identity.
+            block = fragments
+        else:
+            block = gf_matmul(self._decode_matrix(indices), fragments)
+        payload = join_matrix(block, original_size)
         label = chosen[0].label
         return Value(payload=payload, label=label)

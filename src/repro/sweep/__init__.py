@@ -1,0 +1,33 @@
+"""Scale-out sweep engine: parallel scenario x seed x parameter campaigns.
+
+The ICDCS'19 evaluation is a grid -- every DAP crossed with object sizes,
+client counts and fault cadences.  This package expands a declarative
+:class:`~repro.sweep.grid.SweepGrid` into run specs, fans them out over a
+process pool (:func:`~repro.sweep.engine.campaign`), and aggregates compact
+per-run records into a :class:`~repro.sweep.result.SweepResult`.  The CLI::
+
+    PYTHONPATH=src python -m repro.sweep --grid "scenarios=all;seeds=0..3" --jobs 4
+
+runs a campaign, prints the pass/fail matrix and can gate on serial-vs-
+parallel signature equality (``--check-serial``).
+"""
+
+from repro.sweep.engine import campaign, default_jobs, execute_run
+from repro.sweep.grid import (RunSpec, SweepGrid, WORKLOAD_PARAM_FIELDS,
+                              parse_grid, parse_seeds, resolve_scenarios)
+from repro.sweep.result import RunRecord, SweepResult, latency_summary
+
+__all__ = [
+    "RunRecord",
+    "RunSpec",
+    "SweepGrid",
+    "SweepResult",
+    "WORKLOAD_PARAM_FIELDS",
+    "campaign",
+    "default_jobs",
+    "execute_run",
+    "latency_summary",
+    "parse_grid",
+    "parse_seeds",
+    "resolve_scenarios",
+]

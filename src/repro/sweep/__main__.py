@@ -1,0 +1,127 @@
+"""CLI for the sweep engine: ``python -m repro.sweep``.
+
+Examples::
+
+    # the full registry, four seeds, four workers
+    python -m repro.sweep --grid "scenarios=all;seeds=0..3" --jobs 4
+
+    # a parameter grid over two object sizes, written to a report file
+    python -m repro.sweep --grid "scenarios=treas_*;seeds=0;value_size=256,4096" \
+        --jobs 2 --output sweep.json
+
+    # CI determinism gate: pooled and serial execution must agree
+    # hash-for-hash on every cell
+    python -m repro.sweep --grid "scenarios=abd_crash_minority;seeds=0..1" \
+        --jobs 2 --check-serial
+
+Exit status: 0 when every cell passed (and, with ``--check-serial``, every
+signature matched); 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.sweep.engine import campaign, default_jobs
+from repro.sweep.grid import parse_grid
+from repro.sweep.result import RunRecord, SweepResult
+
+
+def _print_progress(record: RunRecord) -> None:
+    status = "ok" if record.ok else "FAIL"
+    print(f"  [{status:>4}] {record.cell_id:<45} {record.wall_clock_sec:6.2f}s "
+          f"ops={record.history_ops} checker={record.checker_method or '-'}")
+
+
+def _compare_signatures(pooled: SweepResult, serial: SweepResult) -> int:
+    """Print and count serial-vs-parallel signature mismatches."""
+    mismatches = 0
+    serial_map = serial.signature_map()
+    for cell, pooled_hash in pooled.signature_map().items():
+        serial_hash = serial_map.get(cell)
+        if serial_hash != pooled_hash:
+            mismatches += 1
+            print(f"SIGNATURE MISMATCH {cell}: pooled {pooled_hash[:16]}... "
+                  f"!= serial {(serial_hash or 'missing')[:16]}...")
+    if mismatches == 0:
+        print(f"signature gate: all {len(serial_map)} cells byte-identical "
+              "between pooled and serial execution")
+    return mismatches
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Run a scenario x seed x parameter campaign over a process pool.")
+    parser.add_argument("--grid", default="scenarios=all;seeds=0",
+                        help='grid spec, e.g. "scenarios=all;seeds=0..3;value_size=256,1024"')
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="pool size (default: available cores, capped at 8)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--check-serial", action="store_true",
+                        help="re-run the grid serially and fail unless every "
+                             "cell's history signature matches the pooled run")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered scenarios and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress lines")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        from repro.workloads.scenarios import SCENARIOS
+
+        for name, scenario in SCENARIOS.items():
+            print(f"{name:<28} {scenario.description}")
+        return 0
+
+    grid = parse_grid(args.grid)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    specs = grid.expand()
+    print(f"sweep: {len(specs)} cells "
+          f"({len(grid.scenarios)} scenarios x {len(grid.seeds)} seeds"
+          f"{' x params' if grid.params else ''}), jobs={jobs}")
+
+    progress = None if args.quiet else _print_progress
+    result = campaign(grid, jobs=jobs, progress=progress)
+
+    print()
+    print(result.render_matrix())
+    print(f"\n{result.passed}/{len(result.records)} cells passed in "
+          f"{result.wall_clock_sec:.2f}s wall "
+          f"(cell time sum {sum(r.wall_clock_sec for r in result.records):.2f}s, "
+          f"checker methods {result.checker_method_counts()})")
+    for record in result.failures():
+        print(f"\nFAILED {record.cell_id}:\n{record.failure}")
+
+    exit_code = 0 if result.ok else 1
+
+    report = result.to_json()
+    if args.check_serial:
+        print("\nre-running serially for the signature gate...")
+        serial = campaign(grid, jobs=1)
+        mismatches = _compare_signatures(result, serial)
+        report["serial_check"] = {
+            "serial_wall_clock_sec": round(serial.wall_clock_sec, 4),
+            "mismatches": mismatches,
+        }
+        if mismatches:
+            exit_code = 1
+        elif serial.wall_clock_sec > 0 and jobs > 1:
+            speedup = serial.wall_clock_sec / result.wall_clock_sec
+            report["serial_check"]["speedup"] = round(speedup, 2)
+            print(f"parallel speedup at jobs={jobs}: {speedup:.2f}x")
+
+    if args.output is not None:
+        path = pathlib.Path(args.output)
+        path.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"wrote {path}")
+
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""The campaign engine: fan sweep cells out over a process pool.
+
+Each worker executes one ``(scenario, seed, params)`` cell end-to-end --
+run *and* verify -- and returns a compact :class:`~repro.sweep.result.RunRecord`.
+Histories, deployments and simulators never cross the process boundary;
+only scalars, small dicts and the SHA-256 signature hash do.
+
+Determinism: a cell is a pure function of its :class:`~repro.sweep.grid.RunSpec`
+(``run_scenario_instance`` derives every RNG stream from the scenario name
+and seed, and nothing in this module shares mutable state between cells), so
+a cell's history signature is byte-identical whether it runs in the parent
+process, a pool worker, or another machine.  ``campaign(grid, jobs=1)`` and
+``campaign(grid, jobs=N)`` therefore agree hash-for-hash on every cell --
+CI gates on exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+import traceback
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.sweep.grid import RunSpec, SweepGrid
+from repro.sweep.result import RunRecord, SweepResult, latency_summary
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        import os
+
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux hosts
+        return multiprocessing.cpu_count()
+
+
+def default_jobs() -> int:
+    """A sensible worker count: the usable cores, capped at 8."""
+    return max(1, min(8, usable_cores()))
+
+
+def execute_run(spec: RunSpec) -> RunRecord:
+    """Run and verify one sweep cell; always returns a record, never raises.
+
+    Verification is :meth:`ChaosRunResult.check` -- the same single source
+    of truth ``verify()`` raises on -- recorded as the cell's failure text
+    plus which checker algorithm decided.
+    """
+    # Imported here so a spawn-start worker pays the import in its own
+    # process and the module stays import-light for the CLI --list path.
+    from repro.spec.history import OperationType
+    from repro.workloads.scenarios import get_scenario, run_scenario_instance
+
+    start = time.perf_counter()
+    try:
+        scenario = get_scenario(spec.scenario)
+        if spec.params:
+            scenario = replace(scenario,
+                               workload=replace(scenario.workload, **dict(spec.params)))
+        result = run_scenario_instance(scenario, seed=spec.seed)
+
+        signature_hash = hashlib.sha256(
+            repr(result.signature()).encode()).hexdigest()
+        failure, checker_method = result.check()
+        history = result.history
+        return RunRecord(
+            scenario=spec.scenario, seed=spec.seed, params=spec.params,
+            ok=failure is None, failure=failure, signature_hash=signature_hash,
+            wall_clock_sec=time.perf_counter() - start,
+            history_ops=len(history),
+            events=result.deployment.sim.events_processed,
+            messages=result.deployment.network.messages_sent,
+            checker_method=checker_method,
+            read_latency=latency_summary(history.latencies(OperationType.READ)),
+            write_latency=latency_summary(history.latencies(OperationType.WRITE)),
+        )
+    except Exception:
+        # One broken cell (unknown scenario, crashed run, checker error) must
+        # not poison the campaign: report it as a failed record.
+        return RunRecord(
+            scenario=spec.scenario, seed=spec.seed, params=spec.params,
+            ok=False, failure=f"cell crashed:\n{traceback.format_exc()}",
+            signature_hash="", wall_clock_sec=time.perf_counter() - start,
+            history_ops=0, events=0, messages=0, checker_method="")
+
+
+def _pool_context():
+    """Prefer fork (no re-import, no pickling of module state); fall back to
+    the platform default where fork is unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def campaign(grid: SweepGrid, jobs: int = 1,
+             progress: Optional[Callable[[RunRecord], None]] = None) -> SweepResult:
+    """Execute every cell of ``grid`` and aggregate into a :class:`SweepResult`.
+
+    ``jobs=1`` runs serially in-process (no pool, no pickling); ``jobs>1``
+    fans the cells out over a ``multiprocessing`` pool with ``chunksize=1``
+    (cells are seconds-long, so dynamic scheduling beats pre-chunking).
+    Records come back in grid-expansion order either way, so the aggregate
+    report is deterministic regardless of completion order.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    specs = grid.expand()
+    start = time.perf_counter()
+    # jobs > 1 always goes through a real pool -- even for one cell -- so a
+    # --check-serial gate genuinely compares pooled against serial execution.
+    if jobs == 1:
+        records = []
+        for spec in specs:
+            record = execute_run(spec)
+            if progress is not None:
+                progress(record)
+            records.append(record)
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(jobs, len(specs))) as pool:
+            # imap keeps submission order while letting the caller see each
+            # record as soon as its worker finishes.
+            records = []
+            for record in pool.imap(execute_run, specs, chunksize=1):
+                if progress is not None:
+                    progress(record)
+                records.append(record)
+    return SweepResult(grid=grid.describe(), jobs=jobs, records=records,
+                       wall_clock_sec=time.perf_counter() - start)

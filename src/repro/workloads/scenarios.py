@@ -186,26 +186,42 @@ class ChaosRunResult:
         """Determinism witness: history fingerprint + chaos log."""
         return (self.history.signature(), tuple(self.engine.log))
 
-    def verify(self) -> None:
-        """Assert liveness (no stalled/errored session) and atomicity.
+    def check(self) -> Tuple[Optional[str], str]:
+        """Run every property check without raising.
 
-        Raises ``AssertionError`` with a descriptive message on violation.
+        Returns ``(failure, checker_method)``: ``failure`` is ``None`` when
+        liveness, linearizability and tag monotonicity all hold, else the
+        first violation's message; ``checker_method`` reports which
+        linearizability algorithm decided (``""`` if never reached).  This
+        is the single source of truth for scenario verification --
+        :meth:`verify` raises on it and the sweep workers record it.
         """
         from repro.spec.linearizability import (check_linearizability,
                                                 check_tag_monotonicity)
 
         errors = list(self.workload.errors) + list(self.reconfig_errors)
-        assert not errors, (
-            f"scenario {self.scenario.name!r} (seed {self.seed}) lost liveness: "
-            f"{errors}\nchaos log:\n{self.engine.describe_log()}")
+        if errors:
+            return (f"scenario {self.scenario.name!r} (seed {self.seed}) lost "
+                    f"liveness: {errors}\nchaos log:\n"
+                    f"{self.engine.describe_log()}"), ""
         result = check_linearizability(self.history)
-        assert result.ok, (
-            f"scenario {self.scenario.name!r} (seed {self.seed}) violated "
-            f"atomicity: {result.reason}\nchaos log:\n{self.engine.describe_log()}")
+        if not result.ok:
+            return (f"scenario {self.scenario.name!r} (seed {self.seed}) violated "
+                    f"atomicity: {result.reason}\nchaos log:\n"
+                    f"{self.engine.describe_log()}"), result.method
         monotonic = check_tag_monotonicity(self.history)
-        assert monotonic is None, (
-            f"scenario {self.scenario.name!r} (seed {self.seed}) violated tag "
-            f"monotonicity: {monotonic}")
+        if monotonic is not None:
+            return (f"scenario {self.scenario.name!r} (seed {self.seed}) violated "
+                    f"tag monotonicity: {monotonic}"), result.method
+        return None, result.method
+
+    def verify(self) -> None:
+        """Assert liveness (no stalled/errored session) and atomicity.
+
+        Raises ``AssertionError`` with a descriptive message on violation.
+        """
+        failure, _ = self.check()
+        assert failure is None, failure
 
 
 #: The global registry of named chaos scenarios.
@@ -248,7 +264,20 @@ def run_scenario(name: str, seed: int = 0, profile: bool = False) -> ChaosRunRes
     :attr:`~ChaosRunResult.profile_summary`.  Profiling slows the run but
     does not perturb it (the execution stays byte-identical).
     """
-    scenario = get_scenario(name)
+    return run_scenario_instance(get_scenario(name), seed=seed, profile=profile)
+
+
+def run_scenario_instance(scenario: ChaosScenario, seed: int = 0,
+                          profile: bool = False) -> ChaosRunResult:
+    """Execute a :class:`ChaosScenario` object (registered or derived).
+
+    This is :func:`run_scenario` minus the registry lookup; the sweep engine
+    uses it to run parameter-grid variants (``dataclasses.replace`` of a
+    registered scenario with an overridden workload).  All three RNG streams
+    are keyed by ``scenario.name``, so for registered scenarios the two entry
+    points are byte-identical.
+    """
+    name = scenario.name
     deployment = scenario.deployment(seed)
     # The deployment already seeded its simulator with the bare integer;
     # derive a distinct chaos seed so fault coin flips are not the same

@@ -27,8 +27,10 @@ from repro.erasure.matrix import (
     vandermonde_matrix,
 )
 from repro.erasure.replication import ReplicationCode
-from repro.erasure.rs import ReedSolomonCode
-from repro.erasure.striping import join_shards, shard_length, split_into_shards
+from repro.erasure.rs import (ReedSolomonCode, decode_cache_clear,
+                              decode_cache_info)
+from repro.erasure.striping import (join_matrix, join_shards, shard_length,
+                                    split_into_matrix, split_into_shards)
 
 field_elements = st.integers(0, 255)
 nonzero_elements = st.integers(1, 255)
@@ -132,6 +134,55 @@ class TestStriping:
         assert len({len(s) for s in shards}) <= 1
         assert join_shards(shards, len(payload)) == payload
 
+    # ------------------------------------------------- zero-copy guarantees
+    def test_split_returns_views_not_copies(self):
+        # Multiple-of-k payload: rows are reshape views of the payload bytes.
+        payload = bytes(range(12))
+        shards = split_into_shards(payload, 3)
+        assert all(shard.base is not None for shard in shards)
+        base = split_into_matrix(payload, 3)
+        assert base.base is not None  # view of the frombuffer wrapper
+
+    def test_split_with_padding_shares_one_buffer(self):
+        shards = split_into_shards(b"0123456789", 3)  # 10 bytes, pad to 12
+        bases = {id(shard.base) for shard in shards}
+        assert len(bases) == 1  # all rows view the single padded buffer
+
+    @given(st.binary(min_size=0, max_size=100), st.integers(1, 7))
+    def test_matrix_and_shards_agree(self, payload, k):
+        block = split_into_matrix(payload, k)
+        shards = split_into_shards(payload, k)
+        assert block.shape == (k, shard_length(len(payload), k))
+        assert all(np.array_equal(block[i], shards[i]) for i in range(k))
+        assert join_matrix(block, len(payload)) == payload
+
+    # ------------------------------------------------ round-trip edge cases
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_empty_payload_round_trip(self, k):
+        shards = split_into_shards(b"", k)
+        assert len(shards) == k and all(len(shard) == 0 for shard in shards)
+        assert join_shards(shards, 0) == b""
+        assert join_matrix(split_into_matrix(b"", k), 0) == b""
+
+    @given(st.integers(2, 9), st.data())
+    def test_payload_shorter_than_k(self, k, data):
+        payload = data.draw(st.binary(min_size=1, max_size=k - 1))
+        shards = split_into_shards(payload, k)
+        assert all(len(shard) == 1 for shard in shards)
+        assert join_shards(shards, len(payload)) == payload
+
+    @given(st.integers(1, 8), st.integers(1, 6), st.integers(1, 200))
+    def test_non_multiple_of_k_round_trip(self, k, remainder, scale):
+        size = k * scale + (remainder % k if k > 1 else 0)
+        payload = bytes(i % 251 for i in range(size))
+        assert join_shards(split_into_shards(payload, k), size) == payload
+
+    @given(st.integers(1, 8), st.integers(1, 200))
+    def test_zero_padding_join_skips_concatenate(self, k, scale):
+        # Exact multiples exercise the padding-free join path.
+        payload = bytes(i % 256 for i in range(k * scale))
+        assert join_shards(split_into_shards(payload, k), len(payload)) == payload
+
 
 class TestReedSolomon:
     @pytest.mark.parametrize("n,k", [(3, 2), (5, 3), (6, 4), (9, 6), (11, 7)])
@@ -210,6 +261,100 @@ class TestReedSolomon:
 
     def test_parameters_dict(self):
         assert ReedSolomonCode(5, 3).parameters() == {"n": 5, "k": 3}
+
+
+class TestDecodeInverseCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        decode_cache_clear()
+        yield
+        decode_cache_clear()
+
+    def test_differential_cached_vs_uncached(self):
+        """Every survivor subset decodes identically with and without the cache.
+
+        The uncached reference inverts the submatrix from scratch per call
+        (exactly the pre-cache code path); the cached path must return
+        byte-identical payloads for every subset, cold and warm.
+        """
+        from repro.erasure.gf256 import gf_matmul
+        from repro.erasure.matrix import matrix_invert
+
+        n, k = 6, 4
+        code = ReedSolomonCode(n, k)
+        value = Value(payload=bytes(range(256)) * 3 + b"tail", label="diff")
+        elements = code.encode(value)
+        for subset in itertools.combinations(elements, k):
+            indices = [e.index for e in subset]
+            # Uncached reference decode.
+            inverse = matrix_invert(code.generator[indices, :])
+            fragments = np.stack(
+                [np.frombuffer(e.payload, dtype=np.uint8) for e in subset])
+            reference = gf_matmul(inverse, fragments).tobytes()[: value.size]
+            # Cached decode, cold then warm.
+            assert code.decode(subset).payload == reference == value.payload
+            assert code.decode(subset).payload == reference
+
+    def test_repeated_quorum_hits_cache(self):
+        code = ReedSolomonCode(6, 4)
+        elements = code.encode(Value.of_size(4096, label="x"))
+        survivors = elements[2:]  # mixes data and parity rows
+        for _ in range(5):
+            code.decode(survivors)
+        info = decode_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 4
+
+    def test_all_data_shards_skip_matrix_entirely(self):
+        # The identity survivor set needs neither an inverse nor a matmul.
+        code = ReedSolomonCode(6, 4)
+        elements = code.encode(Value.of_size(1000, label="x"))
+        decoded = code.decode(elements[:4])
+        assert decoded.size == 1000
+        info = decode_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 0
+
+    def test_cache_shared_across_instances(self):
+        value = Value.of_size(100)
+        first = ReedSolomonCode(6, 4)
+        second = ReedSolomonCode(6, 4)
+        survivors = first.encode(value)[2:]
+        first.decode(survivors)
+        second.decode(survivors)
+        info = decode_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 1
+
+    def test_distinct_codes_do_not_collide(self):
+        # [6, 4] and [5, 4] share surviving-index tuples; the (n, k) in the
+        # key must keep their (different) generators apart.
+        value = Value.of_size(64)
+        big, small = ReedSolomonCode(6, 4), ReedSolomonCode(5, 4)
+        survivors_big = big.encode(value)[2:]
+        survivors_small = small.encode(value)[1:]
+        assert big.decode(survivors_big).payload == value.payload
+        assert small.decode(survivors_small).payload == value.payload
+        assert decode_cache_info()["misses"] == 2
+
+    def test_cache_is_bounded(self):
+        # C(14, 3) = 364 distinct survivor sets > the 256-entry bound, so the
+        # LRU must evict; only the identity set (0, 1, 2) skips the cache.
+        code = ReedSolomonCode(14, 3)
+        elements = code.encode(Value.of_size(30))
+        for subset in itertools.combinations(elements, 3):
+            assert code.decode(subset).size == 30
+        info = decode_cache_info()
+        assert info["misses"] == 363
+        assert info["size"] == info["maxsize"]
+
+    def test_clear_resets_counters(self):
+        code = ReedSolomonCode(5, 3)
+        survivors = code.encode(Value.of_size(9))[2:]
+        code.decode(survivors)
+        code.decode(survivors)
+        decode_cache_clear()
+        info = decode_cache_info()
+        assert info == {"hits": 0, "misses": 0, "size": 0,
+                        "maxsize": info["maxsize"]}
 
 
 class TestReplication:

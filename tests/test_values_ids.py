@@ -47,6 +47,58 @@ class TestValue:
         assert Value.of_size(size).size == size
 
 
+class TestPayloadInterning:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        from repro.common.values import payload_cache_clear
+
+        payload_cache_clear()
+        yield
+        payload_cache_clear()
+
+    def test_same_size_shares_payload_object(self):
+        assert Value.of_size(1024).payload is Value.of_size(1024).payload
+        assert Value.of_size(1024, label="a").payload is \
+            Value.of_size(1024, label="b").payload
+
+    def test_distinct_fill_not_shared(self):
+        assert Value.of_size(16, fill=0x00).payload != Value.of_size(16).payload
+
+    def test_fill_is_normalised_mod_256(self):
+        assert Value.of_size(8, fill=0x1AB).payload is \
+            Value.of_size(8, fill=0xAB).payload
+
+    def test_storm_allocates_per_distinct_size_not_per_op(self):
+        """A 150-op storm must allocate O(distinct sizes) payload buffers."""
+        sizes = [256, 1024, 65536]
+        values = [Value.of_size(sizes[i % len(sizes)], label=f"w{i}")
+                  for i in range(150)]
+        distinct_buffers = {id(value.payload) for value in values}
+        assert len(distinct_buffers) == len(sizes)
+        # Labels stay per-operation even though payload bytes are shared.
+        assert len({value.label for value in values}) == 150
+
+    def test_cache_is_bounded(self):
+        from repro.common.values import payload_cache_info
+
+        maxsize = payload_cache_info()["maxsize"]
+        for size in range(2 * maxsize):
+            Value.of_size(size)
+        info = payload_cache_info()
+        assert info["size"] == info["maxsize"] == maxsize
+        assert info["misses"] == 2 * maxsize
+
+    def test_lru_keeps_hot_sizes(self):
+        from repro.common.values import payload_cache_info
+
+        maxsize = payload_cache_info()["maxsize"]
+        hot = Value.of_size(12345).payload
+        for size in range(maxsize - 1):
+            Value.of_size(size)
+            Value.of_size(12345)  # keep the hot entry fresh
+        assert Value.of_size(12345).payload is hot
+
+
 class TestProcessIds:
     def test_roles(self):
         assert writer_id(0).role is Role.WRITER

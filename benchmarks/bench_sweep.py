@@ -26,8 +26,8 @@ from repro.sweep.engine import usable_cores
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 #: The committed full-grid baseline; quick runs write next to it instead so
-#: a CI smoke (or a developer's --quick) never clobbers the 52-cell numbers
-#: cited by docs/PERFORMANCE.md.
+#: a CI smoke (or a developer's --quick) never clobbers the full-registry
+#: numbers cited by docs/PERFORMANCE.md.
 REPORT_PATH = _REPO_ROOT / "BENCH_SWEEP.json"
 QUICK_REPORT_PATH = _REPO_ROOT / "bench-sweep-quick.json"
 

@@ -28,10 +28,12 @@ SHOWCASE = "storm_mixed_dap_chaos"
 def run_one(name: str):
     scenario = get_scenario(name)
     result = run_scenario(name, seed=7)
-    lin = check_linearizability(result.history)
-    ok = lin.ok and not result.workload.errors and not result.reconfig_errors
+    # check() is the single source of truth: liveness + linearizability +
+    # tag monotonicity, per key for keyed (store) scenario histories.
+    failure, _method = result.check()
+    ok = failure is None
     status = "ok " if ok else "FAIL"
-    print(f"  {status} {name:28s} dap={scenario.dap:5s} "
+    print(f"  {status} {name:30s} dap={scenario.dap:5s} "
           f"faults={','.join(scenario.faults):40s} "
           f"ops={result.workload.total_operations:3d} "
           f"read={result.workload.mean_read_latency:5.1f} "

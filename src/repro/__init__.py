@@ -18,6 +18,7 @@ Protocols
     :mod:`repro.dap`        -- data-access primitives (ABD, TREAS, LDR).
     :mod:`repro.registers`  -- static atomic registers built from DAPs (templates A1/A2).
     :mod:`repro.core`       -- the ARES reconfigurable store and ARES-TREAS.
+    :mod:`repro.store`      -- sharded multi-object store (many keys, per-shard DAPs).
 
 Verification and experiments
     :mod:`repro.spec`       -- histories, linearizability checking, DAP properties.
@@ -37,8 +38,9 @@ from repro.erasure.replication import ReplicationCode
 from repro.config.configuration import Configuration
 from repro.core.deployment import AresDeployment, DeploymentSpec
 from repro.registers.static import StaticRegisterDeployment
+from repro.store import ShardMap, ShardSpec, StoreDeployment, StoreSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Tag",
@@ -60,5 +62,9 @@ __all__ = [
     "AresDeployment",
     "DeploymentSpec",
     "StaticRegisterDeployment",
+    "ShardMap",
+    "ShardSpec",
+    "StoreDeployment",
+    "StoreSpec",
     "__version__",
 ]

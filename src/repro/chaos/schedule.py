@@ -45,10 +45,12 @@ class At:
         object.__setattr__(self, "faults", tuple(faults))
 
     def arm(self, engine: "ChaosEngine") -> None:
+        """Schedule every fault's point application at ``time`` on ``engine``."""
         for fault in self.faults:
             engine.apply_at(self.time, fault)
 
     def describe(self) -> str:
+        """One-line rendering, e.g. ``at t=50: crash(s3)``."""
         inner = "; ".join(fault.describe() for fault in self.faults)
         return f"at t={self.time:g}: {inner}"
 
@@ -73,11 +75,13 @@ class During:
         object.__setattr__(self, "faults", tuple(faults))
 
     def arm(self, engine: "ChaosEngine") -> None:
+        """Schedule every fault's start at ``start`` and stop at ``end``."""
         for fault in self.faults:
             engine.start_at(self.start, fault)
             engine.stop_at(self.end, fault)
 
     def describe(self) -> str:
+        """One-line rendering, e.g. ``during [100, 200): isolate(s5)``."""
         inner = "; ".join(fault.describe() for fault in self.faults)
         return f"during [{self.start:g}, {self.end:g}): {inner}"
 

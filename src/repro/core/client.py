@@ -38,7 +38,76 @@ from repro.spec.history import History, OperationType
 from repro.spec.properties import DapRecorder
 
 
-class AresClient(Process, SequenceTraversalMixin):
+class RegisterOpsMixin(SequenceTraversalMixin):
+    """The Algorithm 7 read/write operations, shared by every ARES client.
+
+    Hosts must be :class:`~repro.sim.process.Process` subclasses with a
+    ``history`` attribute (``None`` disables recording).  Operations are
+    parameterised over the register's local state -- its configuration
+    sequence ``cseq`` and a ``configuration -> DapClient`` resolver -- so
+    the single-register :class:`AresClient` (one ``cseq``) and the sharded
+    store's :class:`~repro.store.client.StoreClient` (one ``cseq`` per
+    object key) run the **same** implementation; a protocol fix lands in
+    both data paths at once.
+    """
+
+    def _register_write(self, cseq: ConfigSequence, dap_for, value: Value,
+                        key: Optional[str] = None):
+        """Coroutine: the ARES write (Algorithm 7) against one register."""
+        record = None
+        if self.history is not None:
+            record = self.history.invoke(self.pid, OperationType.WRITE, self.now,
+                                         value_label=value.label, key=key)
+        yield from self.read_config(cseq)
+        mu = cseq.mu
+        nu = cseq.nu
+        tag_max = BOTTOM_TAG
+        for index in range(mu, nu + 1):
+            configuration = cseq.config_at(index)
+            tag = yield from dap_for(configuration).get_tag()
+            if tag > tag_max:
+                tag_max = tag
+        new_pair = TagValue(tag=tag_max.increment(self.pid), value=value)
+        yield from self._register_propagate(cseq, dap_for, new_pair)
+        if record is not None:
+            self.history.respond(record, self.now, tag=new_pair.tag)
+        return new_pair.tag
+
+    def _register_read(self, cseq: ConfigSequence, dap_for,
+                       key: Optional[str] = None):
+        """Coroutine: the ARES read (Algorithm 7); returns the value."""
+        record = None
+        if self.history is not None:
+            record = self.history.invoke(self.pid, OperationType.READ, self.now,
+                                         key=key)
+        yield from self.read_config(cseq)
+        mu = cseq.mu
+        nu = cseq.nu
+        best = TagValue(tag=BOTTOM_TAG, value=BOTTOM_VALUE)
+        for index in range(mu, nu + 1):
+            configuration = cseq.config_at(index)
+            pair = yield from dap_for(configuration).get_data()
+            if pair.tag > best.tag:
+                best = pair
+        yield from self._register_propagate(cseq, dap_for, best)
+        if record is not None:
+            self.history.respond(record, self.now, value_label=best.value.label,
+                                 tag=best.tag)
+        return best.value
+
+    def _register_propagate(self, cseq: ConfigSequence, dap_for, pair: TagValue):
+        """Algorithm 7 lines 15-21 / 37-43: put-data until the sequence stops growing."""
+        nu = cseq.nu
+        while True:
+            configuration = cseq.config_at(nu)
+            yield from dap_for(configuration).put_data(pair)
+            yield from self.read_config(cseq)
+            if cseq.nu == nu:
+                return
+            nu = cseq.nu
+
+
+class AresClient(Process, RegisterOpsMixin):
     """A reader or writer client of the ARES service."""
 
     def __init__(
@@ -74,57 +143,11 @@ class AresClient(Process, SequenceTraversalMixin):
         self._write_counter += 1
         return Value.of_size(size, label=f"{self.pid.name}:{self._write_counter}")
 
-    # ------------------------------------------------------------------ write
+    # ------------------------------------------------------------- operations
     def write(self, value: Value):
         """Coroutine implementing the ARES write operation."""
-        record = None
-        if self.history is not None:
-            record = self.history.invoke(self.pid, OperationType.WRITE, self.now,
-                                         value_label=value.label)
-        yield from self.read_config(self.cseq)
-        mu = self.cseq.mu
-        nu = self.cseq.nu
-        tag_max = BOTTOM_TAG
-        for index in range(mu, nu + 1):
-            configuration = self.cseq.config_at(index)
-            tag = yield from self.dap_for(configuration).get_tag()
-            if tag > tag_max:
-                tag_max = tag
-        new_pair = TagValue(tag=tag_max.increment(self.pid), value=value)
-        yield from self._propagate(new_pair)
-        if record is not None:
-            self.history.respond(record, self.now, tag=new_pair.tag)
-        return new_pair.tag
+        return self._register_write(self.cseq, self.dap_for, value)
 
-    # ------------------------------------------------------------------- read
     def read(self):
         """Coroutine implementing the ARES read operation; returns the value."""
-        record = None
-        if self.history is not None:
-            record = self.history.invoke(self.pid, OperationType.READ, self.now)
-        yield from self.read_config(self.cseq)
-        mu = self.cseq.mu
-        nu = self.cseq.nu
-        best = TagValue(tag=BOTTOM_TAG, value=BOTTOM_VALUE)
-        for index in range(mu, nu + 1):
-            configuration = self.cseq.config_at(index)
-            pair = yield from self.dap_for(configuration).get_data()
-            if pair.tag > best.tag:
-                best = pair
-        yield from self._propagate(best)
-        if record is not None:
-            self.history.respond(record, self.now, value_label=best.value.label,
-                                 tag=best.tag)
-        return best.value
-
-    # ---------------------------------------------------------- propagation
-    def _propagate(self, pair: TagValue):
-        """Algorithm 7 lines 15-21 / 37-43: put-data until the sequence stops growing."""
-        nu = self.cseq.nu
-        while True:
-            configuration = self.cseq.config_at(nu)
-            yield from self.dap_for(configuration).put_data(pair)
-            yield from self.read_config(self.cseq)
-            if self.cseq.nu == nu:
-                return
-            nu = self.cseq.nu
+        return self._register_read(self.cseq, self.dap_for)

@@ -16,6 +16,13 @@ Section 3:
 
 Use :func:`make_dap_client` / :func:`make_dap_server_state` to obtain the
 implementation matching a configuration's :class:`~repro.config.configuration.DapKind`.
+
+DAPs are instantiated *per configuration*, and nothing above this layer
+assumes one configuration per deployment: the sharded store
+(:mod:`repro.store`) creates one configuration per object key
+(``st<shard>/<key>``) over its shard's servers, so a single server process
+hosts many independent DAP server states and shards of different kinds
+(ABD, LDR, TREAS) coexist in one system.
 """
 
 from __future__ import annotations

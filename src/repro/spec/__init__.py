@@ -8,13 +8,21 @@ executions:
 * :mod:`repro.spec.history` -- records the invocation/response intervals and
   results of high-level read/write operations.
 * :mod:`repro.spec.linearizability` -- a Wing-Gong style checker specialised
-  for multi-writer multi-reader registers.
+  for multi-writer multi-reader registers, plus the per-key variant used for
+  the sharded store's multi-object histories.
 * :mod:`repro.spec.properties` -- records DAP invocations and checks the
   consistency properties C1, C2 and C3 of Definition 2.
 """
 
 from repro.spec.history import History, OperationRecord, OperationType
-from repro.spec.linearizability import check_linearizability, LinearizabilityResult
+from repro.spec.linearizability import (
+    LinearizabilityResult,
+    PerKeyLinearizabilityResult,
+    check_linearizability,
+    check_linearizability_per_key,
+    check_tag_monotonicity,
+    check_tag_monotonicity_per_key,
+)
 from repro.spec.properties import DapRecorder, check_dap_properties, DapPropertyViolation
 
 __all__ = [
@@ -22,7 +30,11 @@ __all__ = [
     "OperationRecord",
     "OperationType",
     "check_linearizability",
+    "check_linearizability_per_key",
+    "check_tag_monotonicity",
+    "check_tag_monotonicity_per_key",
     "LinearizabilityResult",
+    "PerKeyLinearizabilityResult",
     "DapRecorder",
     "check_dap_properties",
     "DapPropertyViolation",

@@ -5,6 +5,16 @@ its invocation time, response time, the process that issued it, and its
 result (the label of the value written or returned).  Histories are produced
 by the register clients and the ARES clients and consumed by the
 linearizability checker and by the latency-analysis benchmarks.
+
+Multi-object (store) histories
+------------------------------
+The sharded store records many named registers into **one** history; each
+record then carries the object ``key`` it operated on.  Such a *keyed*
+history is checked per key (every key is an independent atomic register, see
+:func:`repro.spec.linearizability.check_linearizability_per_key`) while
+:meth:`History.signature` stays a single merged, store-wide fingerprint.
+Use :meth:`History.split_by_key` / :meth:`History.for_key` to obtain the
+per-key sub-histories.
 """
 
 from __future__ import annotations
@@ -37,6 +47,9 @@ class OperationRecord:
     responded_at: Optional[float] = None
     #: Label of the value written (writes) or returned (reads).
     value_label: Optional[str] = None
+    #: Object key the operation addressed (``None`` for single-register
+    #: histories; set by the sharded store's clients).
+    key: Optional[str] = None
     #: Tag associated with the operation's value, when the protocol exposes it.
     tag: Optional[Tag] = None
     #: For reconfig operations: the installed configuration id.
@@ -64,7 +77,8 @@ class OperationRecord:
             f"[{self.invoked_at:.2f}, "
             f"{'...' if self.responded_at is None else f'{self.responded_at:.2f}'}]"
         )
-        return f"{self.op_type.value}({self.value_label}) by {self.process} {interval}"
+        where = "" if self.key is None else f"{self.key}="
+        return f"{self.op_type.value}({where}{self.value_label}) by {self.process} {interval}"
 
 
 class History:
@@ -81,6 +95,7 @@ class History:
         op_type: OperationType,
         at: float,
         value_label: Optional[str] = None,
+        key: Optional[str] = None,
     ) -> OperationRecord:
         """Record an operation invocation; returns the (open) record."""
         record = OperationRecord(
@@ -89,6 +104,7 @@ class History:
             op_type=op_type,
             invoked_at=at,
             value_label=value_label,
+            key=key,
         )
         self._records[record.op_id] = record
         return record
@@ -144,6 +160,53 @@ class History:
         """Latencies of complete operations (optionally of one type)."""
         return [r.latency for r in self.operations(op_type, complete_only=True)]
 
+    # ------------------------------------------------------- per-key queries
+    def is_keyed(self) -> bool:
+        """Whether any read/write record addresses a named object key.
+
+        Keyed histories (recorded by the sharded store) are verified per key;
+        single-register histories keep the historical whole-history checks.
+        """
+        return any(
+            r.key is not None
+            for r in self._records.values()
+            if r.op_type is not OperationType.RECONFIG
+        )
+
+    def keys(self) -> List[Optional[str]]:
+        """The distinct object keys, ordered by first invocation.
+
+        ``None`` appears when the history also carries key-less records
+        (e.g. reconfigurations in a mixed history).
+        """
+        seen: List[Optional[str]] = []
+        for record in self.operations():
+            if record.key not in seen:
+                seen.append(record.key)
+        return seen
+
+    def for_key(self, key: Optional[str]) -> "History":
+        """The sub-history of operations on ``key`` (records are shared)."""
+        sub = History()
+        for record in self._records.values():
+            if record.key == key:
+                sub._records[record.op_id] = record
+        return sub
+
+    def split_by_key(self) -> Dict[Optional[str], "History"]:
+        """Partition into per-key sub-histories, keyed by object key.
+
+        The partition order is deterministic (first-invocation order) so
+        per-key checkers report violations in a stable order.
+        """
+        subs: Dict[Optional[str], History] = {}
+        for record in self.operations():
+            sub = subs.get(record.key)
+            if sub is None:
+                sub = subs[record.key] = History()
+            sub._records[record.op_id] = record
+        return subs
+
     def __len__(self) -> int:
         return len(self._records)
 
@@ -161,10 +224,18 @@ class History:
         the chaos determinism tests compare them to catch any source of
         nondeterminism (unseeded randomness, iteration-order dependence)
         creeping into the stack.
+
+        Keyed (store) histories merge every object into this one store-wide
+        signature: the object key is appended to each keyed record's entry.
+        Key-less records keep the exact historical tuple shape, so the
+        golden signature hashes of single-register scenarios are unaffected.
         """
-        return tuple(
-            (record.op_id, record.process.name, record.op_type.value,
-             record.invoked_at, record.responded_at, record.value_label,
-             None if record.tag is None else str(record.tag), record.failed)
-            for record in self.operations()
-        )
+        entries = []
+        for record in self.operations():
+            entry = (record.op_id, record.process.name, record.op_type.value,
+                     record.invoked_at, record.responded_at, record.value_label,
+                     None if record.tag is None else str(record.tag), record.failed)
+            if record.key is not None:
+                entry += (record.key,)
+            entries.append(entry)
+        return tuple(entries)

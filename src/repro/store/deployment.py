@@ -1,0 +1,186 @@
+"""Deployment builder for sharded multi-object stores.
+
+:class:`StoreDeployment` wires a complete store onto **one** simulator and
+network: a pool of :class:`~repro.store.server.StoreServer` processes carved
+into per-shard slices, a :class:`~repro.store.shardmap.ShardMap` assigning
+keys to shards (each shard with its own DAP kind, so ABD, LDR and TREAS
+shards coexist), writer/reader :class:`~repro.store.client.StoreClient`
+processes, and one shared keyed :class:`~repro.spec.history.History`.
+
+The deployment exposes the same driver surface as
+:class:`~repro.core.deployment.AresDeployment` (``sim``/``network``/
+``history``/``writers``/``readers``), so the closed-loop workload driver,
+the chaos engine and the scenario registry treat stores exactly like
+single-register systems -- the ``keyed`` marker switches the driver into
+keyspace mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import ProcessId, reader_id, server_id, writer_id
+from repro.common.values import Value
+from repro.core.directory import ConfigurationDirectory
+from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.network import Network
+from repro.sim.core import Simulator
+from repro.sim.futures import Coroutine
+from repro.spec.history import History
+from repro.spec.properties import DapRecorder
+from repro.store.client import StoreClient
+from repro.store.server import StoreServer
+from repro.store.shardmap import Shard, ShardMap, ShardSpec
+
+
+@dataclass
+class StoreSpec:
+    """Parameters of a sharded store deployment.
+
+    Attributes
+    ----------
+    shards:
+        One :class:`~repro.store.shardmap.ShardSpec` per shard; each shard
+        gets its own disjoint slice of the server pool and may run a
+        different DAP kind.
+    num_writers, num_readers:
+        Client population (every client can address every key).
+    latency:
+        Network latency model (default ``UniformLatency(1, 2)``).
+    seed:
+        Simulator seed.
+    record_dap:
+        Install a :class:`~repro.spec.properties.DapRecorder` on all clients.
+    """
+
+    shards: Tuple[ShardSpec, ...] = (ShardSpec(), ShardSpec())
+    num_writers: int = 2
+    num_readers: int = 2
+    latency: Optional[LatencyModel] = None
+    seed: int = 0
+    record_dap: bool = False
+
+
+class StoreDeployment:
+    """A complete, runnable sharded key-value store."""
+
+    #: Marks keyed deployments for the closed-loop workload driver.
+    keyed = True
+
+    def __init__(self, spec: Optional[StoreSpec] = None, **overrides) -> None:
+        if spec is None:
+            spec = StoreSpec(**overrides)
+        elif overrides:
+            raise ConfigurationError(
+                "pass either a StoreSpec or keyword overrides, not both")
+        self.spec = spec
+        self.sim = Simulator(seed=spec.seed)
+        self.network = Network(self.sim, latency=spec.latency or UniformLatency(1.0, 2.0))
+        self.directory = ConfigurationDirectory()
+        self.history = History()
+        self.dap_recorder = DapRecorder(self.sim) if spec.record_dap else None
+
+        # Carve the global server pool into per-shard slices (s0.. in shard
+        # order), then build the shard map the servers also consult.
+        shards: List[Shard] = []
+        shard_servers: List[List[ProcessId]] = []
+        next_index = 0
+        for shard_index, shard_spec in enumerate(spec.shards):
+            ids = [server_id(next_index + i) for i in range(shard_spec.num_servers)]
+            next_index += shard_spec.num_servers
+            shard_servers.append(ids)
+            shards.append(Shard(shard_index, shard_spec, ids, self.directory))
+        self.shard_map = ShardMap(shards)
+
+        self.servers: Dict[ProcessId, StoreServer] = {}
+        for ids in shard_servers:
+            for pid in ids:
+                self.servers[pid] = StoreServer(pid, self.network, self.directory,
+                                                shard_map=self.shard_map)
+
+        self.writers: List[StoreClient] = [
+            StoreClient(writer_id(i), self.network, self.directory, self.shard_map,
+                        history=self.history, dap_recorder=self.dap_recorder)
+            for i in range(spec.num_writers)
+        ]
+        self.readers: List[StoreClient] = [
+            StoreClient(reader_id(i), self.network, self.directory, self.shard_map,
+                        history=self.history, dap_recorder=self.dap_recorder)
+            for i in range(spec.num_readers)
+        ]
+        #: Stores are (for now) statically configured per shard; the empty
+        #: list keeps the scenario runner's deployment surface uniform.
+        self.reconfigurers: List = []
+
+    # ------------------------------------------------------------ operations
+    def put(self, key: str, value: Value, writer_index: int = 0):
+        """Run one store write to completion; returns the written tag."""
+        writer = self.writers[writer_index]
+        op = writer.spawn(writer.write(key, value), label=f"{writer.pid}:put:{key}")
+        return self.sim.run_until_complete(op)
+
+    def get(self, key: str, reader_index: int = 0) -> Value:
+        """Run one store read to completion; returns the value."""
+        reader = self.readers[reader_index]
+        op = reader.spawn(reader.read(key), label=f"{reader.pid}:get:{key}")
+        return self.sim.run_until_complete(op)
+
+    def multi_put(self, items: Mapping[str, Value], writer_index: int = 0) -> Dict[str, object]:
+        """Run a pipelined batch write to completion; returns ``{key: tag}``."""
+        writer = self.writers[writer_index]
+        op = writer.spawn(writer.multi_put(items), label=f"{writer.pid}:multi_put")
+        return self.sim.run_until_complete(op)
+
+    def multi_get(self, keys, reader_index: int = 0) -> Dict[str, Value]:
+        """Run a pipelined batch read to completion; returns ``{key: value}``."""
+        reader = self.readers[reader_index]
+        op = reader.spawn(reader.multi_get(keys), label=f"{reader.pid}:multi_get")
+        return self.sim.run_until_complete(op)
+
+    # ----------------------------------------------------------- async forms
+    def spawn_put(self, key: str, value: Value, writer_index: int = 0) -> Coroutine:
+        """Start a keyed write without driving the simulator."""
+        writer = self.writers[writer_index]
+        return writer.spawn(writer.write(key, value), label=f"{writer.pid}:put:{key}")
+
+    def spawn_get(self, key: str, reader_index: int = 0) -> Coroutine:
+        """Start a keyed read without driving the simulator."""
+        reader = self.readers[reader_index]
+        return reader.spawn(reader.read(key), label=f"{reader.pid}:get:{key}")
+
+    def run(self) -> None:
+        """Drain the event queue, completing all spawned operations."""
+        self.sim.run()
+
+    # ------------------------------------------------------------ accounting
+    def total_storage_data_bytes(self) -> int:
+        """Object-data bytes stored across every server and object."""
+        return sum(server.storage_data_bytes() for server in self.servers.values())
+
+    def storage_by_shard(self) -> Dict[int, int]:
+        """Object-data bytes stored per shard (summed over its servers)."""
+        totals: Dict[int, int] = {shard.index: 0 for shard in self.shard_map.shards}
+        for shard in self.shard_map.shards:
+            for pid in shard.servers:
+                totals[shard.index] += self.servers[pid].storage_data_bytes()
+        return totals
+
+    def storage_by_key(self) -> Dict[str, int]:
+        """Object-data bytes stored per object key (summed over servers)."""
+        totals: Dict[str, int] = {}
+        for server in self.servers.values():
+            for key, count in server.storage_by_key().items():
+                totals[key] = totals.get(key, 0) + count
+        return totals
+
+    @property
+    def stats(self):
+        """Network traffic statistics."""
+        return self.network.stats
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        """The network's latency model (exposes the ``d``/``D`` bounds)."""
+        return self.network.latency

@@ -1,0 +1,196 @@
+"""Deterministic key -> shard assignment and per-object configurations.
+
+The sharded store partitions a flat string keyspace over a fixed set of
+*shards*.  Each shard owns a disjoint slice of the server pool, runs one DAP
+kind (ABD, LDR or TREAS -- shards of different kinds coexist in one
+deployment), and hosts every object whose key hashes onto it.  Assignment is
+``crc32(key) mod num_shards``: stable across processes, Python versions and
+runs, which is what makes store scenarios seed-deterministic and lets sweep
+workers agree with the parent process on placement.
+
+Within a shard every object is an independent ARES register: the shard map
+lazily builds one :class:`~repro.config.configuration.Configuration` per key
+(identifier ``st<shard>/<key>``) over the shard's servers, registers it in
+the shared directory, and caches it so all clients and servers of the
+deployment share a single description per object -- exactly the per-object
+configuration-sequence modularity the paper's ARES design argues for.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import ConfigId, ProcessId
+from repro.config.configuration import Configuration, DapKind
+from repro.core.directory import ConfigurationDirectory
+
+#: DAP kinds a shard may run (the string forms of :class:`DapKind`).
+SHARD_DAP_KINDS: Tuple[str, ...] = tuple(kind.value for kind in DapKind)
+
+
+def shard_index_for(key: str, num_shards: int) -> int:
+    """The deterministic shard index of ``key`` (``crc32 mod num_shards``).
+
+    ``zlib.crc32`` is stable across interpreter runs and platforms (unlike
+    ``hash(str)``, which is salted per process), so placement is part of a
+    scenario's reproducible identity.
+    """
+    if num_shards <= 0:
+        raise ConfigurationError("a shard map needs at least one shard")
+    return zlib.crc32(key.encode("utf-8")) % num_shards
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Parameters of one shard.
+
+    Attributes
+    ----------
+    dap:
+        DAP kind the shard runs (``"abd"``, ``"ldr"`` or ``"treas"``).
+    num_servers:
+        Size of the shard's (disjoint) server slice.
+    k:
+        Erasure-code dimension for TREAS shards (default ``⌈2n/3⌉``).
+    delta:
+        TREAS garbage-collection / concurrency parameter δ.
+    """
+
+    dap: str = "abd"
+    num_servers: int = 5
+    k: Optional[int] = None
+    delta: int = 4
+
+    def __post_init__(self) -> None:
+        if self.dap.lower() not in SHARD_DAP_KINDS:
+            raise ConfigurationError(
+                f"unknown shard DAP kind {self.dap!r}; supported: "
+                f"{', '.join(SHARD_DAP_KINDS)}")
+        if self.num_servers < 1:
+            raise ConfigurationError("a shard needs at least one server")
+        if self.dap.lower() == "ldr" and self.num_servers < 2:
+            # The server slice is split half directories / half replicas; a
+            # 1-server LDR shard would have zero directories and fail deep
+            # in the DAP layer on the first operation.
+            raise ConfigurationError(
+                "an LDR shard needs at least 2 servers "
+                "(half directories, half replicas)")
+
+
+class Shard:
+    """One shard: a DAP kind plus a server slice hosting many objects.
+
+    Per-object configurations are created lazily on first access to a key
+    and registered in the deployment's shared directory, so servers resolve
+    them from incoming message config ids without any extra coordination.
+    """
+
+    def __init__(self, index: int, spec: ShardSpec, servers: Sequence[ProcessId],
+                 directory: ConfigurationDirectory) -> None:
+        if len(servers) != spec.num_servers:
+            raise ConfigurationError(
+                f"shard {index} expects {spec.num_servers} servers, got {len(servers)}")
+        self.index = index
+        self.spec = spec
+        self.servers: Tuple[ProcessId, ...] = tuple(servers)
+        self._directory = directory
+        self._configurations: Dict[str, Configuration] = {}
+        self._keys_by_cfg: Dict[ConfigId, str] = {}
+
+    @property
+    def dap(self) -> str:
+        """The shard's DAP kind string."""
+        return self.spec.dap.lower()
+
+    def configuration_for(self, key: str) -> Configuration:
+        """The (lazily created, shared) configuration of object ``key``."""
+        configuration = self._configurations.get(key)
+        if configuration is not None:
+            return configuration
+        cfg_id = ConfigId(name=f"st{self.index}/{key}")
+        dap = self.dap
+        if dap == "treas":
+            configuration = Configuration.treas(cfg_id, self.servers,
+                                                k=self.spec.k, delta=self.spec.delta)
+        elif dap == "abd":
+            configuration = Configuration.abd(cfg_id, self.servers)
+        else:  # ldr: first half directories, second half replicas
+            half = len(self.servers) // 2
+            configuration = Configuration.ldr(cfg_id, self.servers[:half],
+                                              self.servers[half:])
+        self._directory.register(configuration)
+        self._configurations[key] = configuration
+        self._keys_by_cfg[cfg_id] = key
+        return configuration
+
+    def key_of(self, cfg_id: ConfigId) -> Optional[str]:
+        """The object key behind one of this shard's configuration ids."""
+        return self._keys_by_cfg.get(cfg_id)
+
+    def keys(self) -> List[str]:
+        """Keys with a materialised configuration, in creation order."""
+        return list(self._configurations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Shard {self.index} dap={self.dap} "
+                f"servers={len(self.servers)} objects={len(self._configurations)}>")
+
+
+class ShardMap:
+    """The store's placement function: key -> shard -> configuration.
+
+    One instance is shared by every client and server of a
+    :class:`~repro.store.deployment.StoreDeployment`; it owns the per-shard
+    :class:`Shard` objects and answers both directions of the mapping
+    (key to servers/configuration, configuration id back to key).
+    """
+
+    def __init__(self, shards: Sequence[Shard]) -> None:
+        if not shards:
+            raise ConfigurationError("a shard map needs at least one shard")
+        self.shards: Tuple[Shard, ...] = tuple(shards)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    def shard_index(self, key: str) -> int:
+        """The shard index ``key`` hashes onto."""
+        return shard_index_for(key, len(self.shards))
+
+    def shard_for(self, key: str) -> Shard:
+        """The :class:`Shard` hosting ``key``."""
+        return self.shards[self.shard_index(key)]
+
+    def configuration_for(self, key: str) -> Configuration:
+        """The configuration of object ``key`` (created on first use)."""
+        return self.shard_for(key).configuration_for(key)
+
+    def servers_for_key(self, key: str) -> List[ProcessId]:
+        """The server processes storing object ``key``."""
+        return list(self.shard_for(key).servers)
+
+    def key_of(self, cfg_id: ConfigId) -> Optional[str]:
+        """Resolve a store configuration id back to its object key."""
+        for shard in self.shards:
+            key = shard.key_of(cfg_id)
+            if key is not None:
+                return key
+        return None
+
+    def describe(self) -> str:
+        """One line per shard: index, DAP, server range, materialised objects."""
+        lines = []
+        for shard in self.shards:
+            names = ", ".join(pid.name for pid in shard.servers)
+            lines.append(f"shard {shard.index} [{shard.dap}] servers=({names}) "
+                         f"objects={len(shard.keys())}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ",".join(shard.dap for shard in self.shards)
+        return f"<ShardMap {self.num_shards} shards [{kinds}]>"

@@ -53,6 +53,7 @@ def _compare_signatures(pooled: SweepResult, serial: SweepResult) -> int:
 
 
 def main(argv=None) -> int:
+    """Entry point of ``python -m repro.sweep``; returns the exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.sweep",
         description="Run a scenario x seed x parameter campaign over a process pool.")

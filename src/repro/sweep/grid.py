@@ -28,14 +28,19 @@ from typing import Dict, List, Sequence, Tuple
 
 #: Workload fields a grid may override, with their parsers.  These are the
 #: knobs the ICDCS'19 evaluation grid varies (object size, operation counts,
-#: think time); anything else in a scenario (fault schedule, deployment
-#: shape) is part of the scenario's identity and gets a new registration
-#: instead of an override.
+#: think time) plus the store keyspace axes (keyspace size, batch width);
+#: anything else in a scenario (fault schedule, deployment shape, key
+#: distribution) is part of the scenario's identity and gets a new
+#: registration instead of an override.  The keyspace axes only apply to
+#: store scenarios -- overriding ``num_keys`` on a single-register scenario
+#: fails the cell with an explicit workload/deployment mismatch error.
 WORKLOAD_PARAM_FIELDS: Dict[str, type] = {
     "value_size": int,
     "think_time": float,
     "operations_per_writer": int,
     "operations_per_reader": int,
+    "num_keys": int,
+    "batch_size": int,
 }
 
 

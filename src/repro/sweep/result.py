@@ -70,6 +70,7 @@ class RunRecord:
         return format_cell_id(self.scenario, self.seed, self.params)
 
     def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable rendering of this cell's record."""
         return {
             "cell": self.cell_id,
             "scenario": self.scenario,
@@ -127,6 +128,7 @@ class SweepResult:
         return {record.cell_id: record.signature_hash for record in self.records}
 
     def failures(self) -> List[RunRecord]:
+        """The failed cells' records, in grid-expansion order."""
         return [record for record in self.records if not record.ok]
 
     # ------------------------------------------------------------- rendering

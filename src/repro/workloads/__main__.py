@@ -1,0 +1,59 @@
+"""CLI for the workloads package: ``python -m repro.workloads``.
+
+Examples::
+
+    # one line per registered chaos scenario
+    python -m repro.workloads --list-scenarios
+
+    # the Markdown scenario catalog (what docs/SCENARIOS.md is generated from)
+    python -m repro.workloads --list-scenarios --markdown
+
+    # regenerate the committed catalog in place
+    python -m repro.workloads --list-scenarios --markdown --output docs/SCENARIOS.md
+
+Exit status: 0 on success, 2 for usage errors (e.g. ``--markdown`` without
+``--list-scenarios``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.workloads.catalog import scenario_catalog_markdown, scenario_listing
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Enumerate the chaos scenario registry.")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="list registered chaos scenarios")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit the Markdown scenario catalog "
+                             "(the source of docs/SCENARIOS.md)")
+    parser.add_argument("--output", default=None,
+                        help="write the output to this file instead of stdout")
+    args = parser.parse_args(argv)
+
+    if not args.list_scenarios:
+        parser.print_help()
+        return 2
+    if args.markdown:
+        text = scenario_catalog_markdown()
+    else:
+        text = scenario_listing() + "\n"
+
+    if args.output is not None:
+        path = pathlib.Path(args.output)
+        path.write_text(text)
+        print(f"wrote {path}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Scenario catalog generation: the registry rendered as Markdown.
+
+``docs/SCENARIOS.md`` is **generated** from the chaos scenario registry by
+:func:`scenario_catalog_markdown` (exposed as ``python -m repro.workloads
+--list-scenarios --markdown``).  A tier-1 test asserts the committed file
+matches this module's output byte-for-byte, so the catalog can never drift
+from the code: registering, renaming or re-describing a scenario requires
+regenerating the file::
+
+    PYTHONPATH=src python -m repro.workloads --list-scenarios --markdown \
+        --output docs/SCENARIOS.md
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.scenarios import SCENARIOS, ChaosScenario
+
+_HEADER = """\
+# Chaos scenario catalog
+
+> **Generated file — do not edit by hand.**  Regenerate with
+> `PYTHONPATH=src python -m repro.workloads --list-scenarios --markdown --output docs/SCENARIOS.md`
+> (a tier-1 test asserts this file matches the registry byte-for-byte).
+
+Every scenario is a named, seed-deterministic adversary experiment from
+`repro.workloads.scenarios`: a deployment (single ARES register or sharded
+multi-object store), a fault schedule, a closed-loop workload and optional
+reconfiguration pressure.  `run_scenario(name, seed)` executes one and
+`ChaosRunResult.verify()` asserts liveness, linearizability (per key for
+store scenarios) and tag monotonicity.  All scenarios run under every seed
+in CI's property battery and can be fanned out in bulk with
+`python -m repro.sweep --grid "scenarios=all;seeds=0..3" --jobs 4`.
+"""
+
+
+def _workload_cell(workload: WorkloadSpec) -> str:
+    """Compact rendering of the workload mix for the catalog table."""
+    parts = [f"{workload.operations_per_writer}w/{workload.operations_per_reader}r",
+             f"{workload.value_size}B"]
+    if workload.think_time:
+        parts.append(f"think {workload.think_time:g}")
+    return ", ".join(parts)
+
+
+def _keyspace_cell(workload: WorkloadSpec) -> str:
+    """The keyspace column: `-` for single-register scenarios."""
+    if workload.num_keys <= 0:
+        return "-"
+    cell = f"{workload.num_keys} keys {workload.key_distribution}"
+    if workload.key_distribution == "zipf":
+        cell += f"(s={workload.zipf_s:g})"
+    if workload.batch_size > 1:
+        cell += f", batch {workload.batch_size}"
+    return cell
+
+
+def _reconfig_cell(scenario: ChaosScenario) -> str:
+    if not scenario.num_reconfigs:
+        return "-"
+    daps = "/".join(scenario.reconfig_daps) if scenario.reconfig_daps else scenario.dap
+    return f"{scenario.num_reconfigs}x {daps}"
+
+
+def scenario_catalog_markdown() -> str:
+    """Render the whole registry as the committed ``docs/SCENARIOS.md``."""
+    lines: List[str] = [_HEADER]
+    lines.append(f"{len(SCENARIOS)} registered scenarios.\n")
+    lines.append("| Scenario | DAP | Fault families | Workload | Keyspace | Reconfigs | Description |")
+    lines.append("| --- | --- | --- | --- | --- | --- | --- |")
+    for scenario in SCENARIOS.values():
+        lines.append(
+            f"| `{scenario.name}` "
+            f"| {scenario.dap} "
+            f"| {', '.join(scenario.faults)} "
+            f"| {_workload_cell(scenario.workload)} "
+            f"| {_keyspace_cell(scenario.workload)} "
+            f"| {_reconfig_cell(scenario)} "
+            f"| {scenario.description} |")
+    lines.append("")
+    lines.append("Columns: *Workload* is operations per writer/reader session, "
+                 "value size and mean think time; *Keyspace* is the store "
+                 "keyspace (size, key distribution, batch width) or `-` for "
+                 "single-register scenarios; *Reconfigs* is the count and DAP "
+                 "chain of concurrent reconfigurations.")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def scenario_listing() -> str:
+    """Plain-text one-line-per-scenario listing (the CLI's default output)."""
+    width = max(len(name) for name in SCENARIOS) if SCENARIOS else 0
+    return "\n".join(f"{name:<{width}}  {scenario.description}"
+                     for name, scenario in SCENARIOS.items())

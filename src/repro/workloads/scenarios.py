@@ -37,6 +37,7 @@ from repro.chaos.faults import (
 from repro.chaos.schedule import At, During, Schedule
 from repro.core.deployment import AresDeployment, DeploymentSpec
 from repro.net.latency import UniformLatency
+from repro.store import ShardSpec, StoreDeployment, StoreSpec
 from repro.workloads.generator import ClosedLoopDriver, WorkloadResult, WorkloadSpec
 
 
@@ -195,21 +196,35 @@ class ChaosRunResult:
         linearizability algorithm decided (``""`` if never reached).  This
         is the single source of truth for scenario verification --
         :meth:`verify` raises on it and the sweep workers record it.
+
+        Keyed (store) histories are checked **per key**: each object is an
+        independent atomic register, so linearizability and tag
+        monotonicity are asserted on every per-key sub-history (the
+        checker-method label becomes e.g. ``per-key(fast)``).
         """
         from repro.spec.linearizability import (check_linearizability,
-                                                check_tag_monotonicity)
+                                                check_linearizability_per_key,
+                                                check_tag_monotonicity,
+                                                check_tag_monotonicity_per_key)
 
         errors = list(self.workload.errors) + list(self.reconfig_errors)
         if errors:
             return (f"scenario {self.scenario.name!r} (seed {self.seed}) lost "
                     f"liveness: {errors}\nchaos log:\n"
                     f"{self.engine.describe_log()}"), ""
-        result = check_linearizability(self.history)
+        keyed = self.history.is_keyed()
+        if keyed:
+            result = check_linearizability_per_key(self.history)
+        else:
+            result = check_linearizability(self.history)
         if not result.ok:
             return (f"scenario {self.scenario.name!r} (seed {self.seed}) violated "
                     f"atomicity: {result.reason}\nchaos log:\n"
                     f"{self.engine.describe_log()}"), result.method
-        monotonic = check_tag_monotonicity(self.history)
+        if keyed:
+            monotonic = check_tag_monotonicity_per_key(self.history)
+        else:
+            monotonic = check_tag_monotonicity(self.history)
         if monotonic is not None:
             return (f"scenario {self.scenario.name!r} (seed {self.seed}) violated "
                     f"tag monotonicity: {monotonic}"), result.method
@@ -504,4 +519,86 @@ register_scenario(ChaosScenario(
                           value_size=512, think_time=2.5),
     num_reconfigs=3, reconfig_cadence=8.0, fresh_servers=6,
     reconfig_daps=("treas", "abd", "treas"),
+))
+
+
+# --------------------------------------------------------- store scenarios
+# Sharded multi-object deployments: every operation addresses a named key,
+# keys hash onto shards with per-shard DAP kinds, and verification runs per
+# key (ChaosRunResult.check switches automatically on keyed histories).
+# Victim choices stay inside each *shard's* tolerance envelope: an ABD-5
+# shard tolerates 2 lost servers, a TREAS [6, 4] shard 1, an LDR 3+3 shard
+# 1 directory plus 1 replica.
+
+def _store_mixed_deployment(seed: int) -> StoreDeployment:
+    """Three shards, one per DAP kind: ABD-5 + TREAS [6,4] + LDR 3+3."""
+    return StoreDeployment(StoreSpec(
+        shards=(ShardSpec(dap="abd", num_servers=5),
+                ShardSpec(dap="treas", num_servers=6, k=4, delta=8),
+                ShardSpec(dap="ldr", num_servers=6)),
+        num_writers=2, num_readers=2,
+        latency=UniformLatency(1.0, 2.0), seed=seed))
+
+
+def _store_abd_deployment(seed: int) -> StoreDeployment:
+    """Three uniform ABD-5 shards (each tolerates 2 crashed servers)."""
+    return StoreDeployment(StoreSpec(
+        shards=(ShardSpec(dap="abd", num_servers=5),
+                ShardSpec(dap="abd", num_servers=5),
+                ShardSpec(dap="abd", num_servers=5)),
+        num_writers=2, num_readers=2,
+        latency=UniformLatency(1.0, 2.0), seed=seed))
+
+
+def _hot_shard_crashes(deployment: StoreDeployment) -> Schedule:
+    """Crash two servers of the hot key's shard (ABD-5: both tolerated).
+
+    The Zipf sampler makes ``k0`` the hottest key, so its shard carries the
+    most traffic; the schedule resolves that shard through the deployment's
+    shard map at arm time.
+    """
+    victims = deployment.shard_map.servers_for_key("k0")
+    return Schedule([At(8, Crash(victims[-1])), At(20, Crash(victims[-2]))])
+
+
+register_scenario(ChaosScenario(
+    name="store_mixed_dap_storm",
+    description=("Sharded store with ABD+TREAS+LDR shards under batched "
+                 "keyed traffic, duplication/reordering and an ABD-shard crash"),
+    dap="store", faults=("crash", "duplicate", "reorder"),
+    deployment=_store_mixed_deployment,
+    schedule=lambda d: Schedule([
+        During(4, 45, Duplicate(0.25), Reorder(1.5)),
+        At(12, Crash("s2")),
+    ]),
+    workload=WorkloadSpec(operations_per_writer=3, operations_per_reader=3,
+                          value_size=256, think_time=2.0,
+                          num_keys=12, batch_size=2),
+))
+
+register_scenario(ChaosScenario(
+    name="store_hot_shard_crash",
+    description=("Zipf hot-key store traffic while the hot key's shard "
+                 "loses both tolerated servers"),
+    dap="store", faults=("crash",),
+    deployment=_store_abd_deployment,
+    schedule=_hot_shard_crashes,
+    workload=WorkloadSpec(operations_per_writer=4, operations_per_reader=4,
+                          value_size=256, think_time=2.0,
+                          num_keys=16, key_distribution="zipf", zipf_s=1.4),
+))
+
+register_scenario(ChaosScenario(
+    name="store_partition_across_shards",
+    description=("Sharded ABD+TREAS store with one server of every shard "
+                 "partitioned away, then healed"),
+    dap="store", faults=("partition",),
+    deployment=lambda seed: StoreDeployment(StoreSpec(
+        shards=(ShardSpec(dap="abd", num_servers=5),
+                ShardSpec(dap="treas", num_servers=6, k=4, delta=8)),
+        num_writers=2, num_readers=2,
+        latency=UniformLatency(1.0, 2.0), seed=seed)),
+    schedule=lambda d: Schedule([During(6, 36, Isolate("s4", "s10"))]),
+    workload=WorkloadSpec(operations_per_writer=3, operations_per_reader=3,
+                          value_size=256, think_time=2.0, num_keys=10),
 ))

@@ -1,0 +1,129 @@
+"""Documentation gates: catalog sync, link integrity, README docs index.
+
+The scenario catalog at ``docs/SCENARIOS.md`` is generated from the chaos
+scenario registry; this suite fails whenever the committed file drifts from
+the code (regenerate with ``python -m repro.workloads --list-scenarios
+--markdown --output docs/SCENARIOS.md``).  The offline Markdown link
+checker from ``tools/check_links.py`` also runs here so broken
+cross-references fail the tier-1 matrix, not just the CI docs job.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.workloads.catalog import scenario_catalog_markdown, scenario_listing
+from repro.workloads.scenarios import SCENARIOS
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCENARIOS_MD = REPO_ROOT / "docs" / "SCENARIOS.md"
+
+
+def _load_check_links():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestScenarioCatalog:
+    def test_committed_catalog_matches_registry(self):
+        """docs/SCENARIOS.md must be the registry's current rendering."""
+        assert SCENARIOS_MD.exists(), "docs/SCENARIOS.md is missing"
+        committed = SCENARIOS_MD.read_text(encoding="utf-8")
+        assert committed == scenario_catalog_markdown(), (
+            "docs/SCENARIOS.md is out of sync with the scenario registry; "
+            "regenerate with: PYTHONPATH=src python -m repro.workloads "
+            "--list-scenarios --markdown --output docs/SCENARIOS.md")
+
+    def test_catalog_names_every_scenario(self):
+        text = scenario_catalog_markdown()
+        for name in SCENARIOS:
+            assert f"`{name}`" in text
+
+    def test_listing_names_every_scenario(self):
+        listing = scenario_listing()
+        for name, scenario in SCENARIOS.items():
+            assert name in listing
+            assert scenario.description in listing
+
+    def test_cli_emits_the_catalog(self, capsys):
+        from repro.workloads.__main__ import main
+
+        assert main(["--list-scenarios", "--markdown"]) == 0
+        assert capsys.readouterr().out == scenario_catalog_markdown()
+
+    def test_cli_requires_list_flag(self, capsys):
+        from repro.workloads.__main__ import main
+
+        assert main([]) == 2
+        capsys.readouterr()
+
+    def test_cli_writes_output_file(self, tmp_path, capsys):
+        from repro.workloads.__main__ import main
+
+        target = tmp_path / "catalog.md"
+        assert main(["--list-scenarios", "--markdown",
+                     "--output", str(target)]) == 0
+        capsys.readouterr()
+        assert target.read_text() == scenario_catalog_markdown()
+
+
+class TestMarkdownLinks:
+    @pytest.fixture(scope="class")
+    def checker(self):
+        return _load_check_links()
+
+    def test_all_documentation_links_resolve(self, checker):
+        broken = []
+        for path in checker.markdown_files():
+            broken.extend((str(path), target, problem)
+                          for target, problem in checker.check_file(path))
+        assert broken == [], f"broken documentation links: {broken}"
+
+    def test_checker_flags_broken_links(self, tmp_path):
+        """The gate must actually bite: a fabricated bad link is reported.
+
+        Uses a *fresh* checker instance rooted at ``tmp_path`` so the probe
+        file never touches the real ``docs/`` directory (where a parallel
+        test or an aborted run would see it as a genuine broken link).
+        """
+        checker = _load_check_links()
+        checker.REPO_ROOT = tmp_path
+        (tmp_path / "ARCHITECTURE.md").write_text("# Real heading\n")
+        probe = tmp_path / "probe.md"
+        probe.write_text("[x](no-such-file.md) "
+                         "[y](ARCHITECTURE.md#no-such-heading) "
+                         "[ok](ARCHITECTURE.md#real-heading)\n")
+        problems = checker.check_file(probe)
+        assert len(problems) == 2
+
+    def test_github_slugs(self, checker):
+        assert checker.github_slug("## The layer stack".lstrip("# ")) == "the-layer-stack"
+        assert checker.github_slug("Tests and benchmarks") == "tests-and-benchmarks"
+
+
+class TestReadme:
+    def test_readme_indexes_the_docs(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for doc in ("docs/ARCHITECTURE.md", "docs/SCENARIOS.md",
+                    "docs/PERFORMANCE.md"):
+            assert doc in readme, f"README does not link {doc}"
+
+    def test_readme_sweep_example_matches_cli_flags(self):
+        """The documented sweep invocation must use real CLI flags."""
+        import re
+
+        from repro.sweep.__main__ import main as sweep_main  # noqa: F401 (import check)
+
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        flags = set(re.findall(r"--[a-z-]+", readme.split("## Scale-out sweeps")[1]
+                               .split("## Tests")[0]))
+        known = {"--grid", "--jobs", "--check-serial", "--output", "--list",
+                 "--quiet"}
+        assert flags <= known, f"README documents unknown sweep flags: {flags - known}"
+        assert {"--grid", "--jobs", "--check-serial"} <= flags

@@ -26,7 +26,8 @@ import pathlib
 
 import pytest
 
-from repro.spec.linearizability import check_linearizability
+from repro.spec.linearizability import (check_linearizability,
+                                        check_linearizability_per_key)
 from repro.workloads.scenarios import run_scenario, scenario_names
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_signatures.json"
@@ -57,11 +58,18 @@ def test_scenario_histories_are_decided_by_the_fast_checker():
     """The registered scenarios' histories must not hit the DFS fallback.
 
     If one does, chaos verification silently reverts to the exponential
-    reference search, which is exactly the cost PR 2 removed.
+    reference search, which is exactly the cost PR 2 removed.  Keyed store
+    scenarios are checked per key; every per-key sub-history must likewise
+    be decided by the fast checker.
     """
     for name in scenario_names():
         result = run_scenario(name, seed=0)
-        verdict = check_linearizability(result.history)
+        if result.history.is_keyed():
+            verdict = check_linearizability_per_key(result.history)
+            expected_method = "per-key(fast)"
+        else:
+            verdict = check_linearizability(result.history)
+            expected_method = "fast"
         assert verdict.ok, f"{name}: {verdict.reason}"
-        assert verdict.method == "fast", (
+        assert verdict.method == expected_method, (
             f"{name} fell back to the reference search")

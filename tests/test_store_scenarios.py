@@ -1,0 +1,101 @@
+"""Store scenarios end-to-end: chaos registry and sweep-grid integration.
+
+The generic chaos battery (``test_chaos_scenarios.py``) already runs every
+registered scenario -- including the store ones -- under many seeds.  This
+suite adds the store-specific assertions: per-key verification is what
+``check()`` actually runs, hot-shard placement drives the crash schedule,
+and the sweep engine accepts store scenarios (with keyspace parameter
+axes) while preserving the serial/pooled signature guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.deployment import StoreDeployment
+from repro.sweep.engine import campaign, execute_run
+from repro.sweep.grid import RunSpec, SweepGrid, parse_grid
+from repro.workloads.scenarios import get_scenario, run_scenario
+
+STORE_SCENARIOS = ("store_mixed_dap_storm", "store_hot_shard_crash",
+                   "store_partition_across_shards")
+
+
+class TestStoreScenarios:
+    @pytest.mark.parametrize("name", STORE_SCENARIOS)
+    def test_runs_are_seed_deterministic_and_verified(self, name):
+        first = run_scenario(name, seed=3)
+        first.verify()
+        second = run_scenario(name, seed=3)
+        assert first.signature() == second.signature()
+        assert first.chaos_log == second.chaos_log
+        assert first.signature() != run_scenario(name, seed=4).signature()
+
+    @pytest.mark.parametrize("name", STORE_SCENARIOS)
+    def test_deployments_are_stores_with_keyed_histories(self, name):
+        result = run_scenario(name, seed=0)
+        assert isinstance(result.deployment, StoreDeployment)
+        assert result.history.is_keyed()
+        failure, method = result.check()
+        assert failure is None
+        assert method == "per-key(fast)"
+
+    def test_mixed_dap_storm_spans_dap_kinds(self):
+        result = run_scenario("store_mixed_dap_storm", seed=0)
+        kinds = [shard.dap for shard in result.deployment.shard_map.shards]
+        assert sorted(kinds) == ["abd", "ldr", "treas"]
+
+    def test_hot_shard_crash_targets_the_hot_keys_shard(self):
+        result = run_scenario("store_hot_shard_crash", seed=0)
+        deployment = result.deployment
+        hot_servers = {pid.name for pid in deployment.shard_map.servers_for_key("k0")}
+        crashed = {text for _, text in result.chaos_log if "crash" in text}
+        assert crashed, "no crash fired"
+        for entry in crashed:
+            assert any(name in entry for name in hot_servers), (
+                f"crash {entry!r} hit a server outside the hot shard")
+        # Zipf skew: the hot key sees the most operations.
+        per_key = {key: len(sub) for key, sub in
+                   result.history.split_by_key().items()}
+        assert per_key.get("k0", 0) == max(per_key.values())
+
+    def test_partition_scenario_isolates_one_server_per_shard(self):
+        result = run_scenario("store_partition_across_shards", seed=0)
+        isolates = [text for _, text in result.chaos_log if "isolate" in text]
+        assert isolates and any("s4" in t and "s10" in t for t in isolates)
+
+
+class TestStoreSweepIntegration:
+    def test_execute_run_records_per_key_checker(self):
+        record = execute_run(RunSpec(scenario="store_mixed_dap_storm", seed=1))
+        assert record.ok, record.failure
+        assert record.checker_method == "per-key(fast)"
+        assert record.history_ops > 0
+        assert record.signature_hash
+
+    def test_grid_overrides_keyspace_fields(self):
+        record = execute_run(RunSpec(
+            scenario="store_hot_shard_crash", seed=0,
+            params=(("batch_size", 2), ("num_keys", 4))))
+        assert record.ok, record.failure
+        assert record.cell_id == "store_hot_shard_crash/s0[batch_size=2,num_keys=4]"
+
+    def test_keyspace_override_on_register_scenario_fails_the_cell(self):
+        record = execute_run(RunSpec(
+            scenario="abd_crash_minority", seed=0, params=(("num_keys", 4),)))
+        assert not record.ok
+        assert "single-register" in record.failure
+
+    def test_parse_grid_accepts_store_globs_and_keyspace_axes(self):
+        grid = parse_grid("scenarios=store_*;seeds=0;num_keys=4,8")
+        assert grid.scenarios == STORE_SCENARIOS
+        assert grid.params == (("num_keys", (4, 8)),)
+        assert len(grid.expand()) == 6
+
+    def test_serial_campaign_matches_cell_by_cell_execution(self):
+        grid = SweepGrid(scenarios=("store_partition_across_shards",),
+                         seeds=(0, 1))
+        result = campaign(grid, jobs=1)
+        assert result.ok
+        assert [r.signature_hash for r in result.records] == [
+            execute_run(spec).signature_hash for spec in grid.expand()]

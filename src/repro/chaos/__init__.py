@@ -13,7 +13,9 @@ The three layers:
 * :mod:`repro.chaos.faults`   -- the fault vocabulary (:class:`Crash`,
   :class:`Restart`, :class:`Partition`, :class:`Isolate`, :class:`Heal`,
   :class:`Drop`, :class:`Duplicate`, :class:`Reorder`,
-  :class:`LatencySpike`, :class:`SlowServer`).
+  :class:`LatencySpike`, :class:`SlowServer`) plus the scripted
+  :class:`Reconfigure` action, which fires a live migration from a
+  schedule so reconfigurations interleave with faults at exact times.
 * :mod:`repro.chaos.schedule` -- the schedule DSL (:class:`At`,
   :class:`During`, :class:`Schedule`).
 * :mod:`repro.chaos.engine`   -- :class:`ChaosEngine`, which resolves
@@ -44,6 +46,7 @@ from repro.chaos.faults import (
     Isolate,
     LatencySpike,
     Partition,
+    Reconfigure,
     Reorder,
     Restart,
     SlowServer,
@@ -60,6 +63,7 @@ __all__ = [
     "Heal",
     "Drop",
     "Duplicate",
+    "Reconfigure",
     "Reorder",
     "LatencySpike",
     "SlowServer",

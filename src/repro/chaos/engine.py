@@ -59,6 +59,11 @@ class ChaosEngine:
         #: fault reused by overlapping schedule windows appears once per
         #: window and each stop retires exactly one activation).
         self.active: List[Fault] = []
+        #: Coroutine handles of operations the schedule fired (e.g.
+        #: :class:`~repro.chaos.faults.Reconfigure` migrations); the
+        #: scenario runner checks them for exceptions and stalls the same
+        #: way it checks workload sessions.
+        self.pending_operations: List = []
         # Hooks installed per fault instance: fault id -> stack of
         # per-activation groups of (kind, callable) entries with kind in
         # {"drop", "delay", "dup"}.  Grouping per activation lets the same
@@ -152,6 +157,26 @@ class ChaosEngine:
         """Stop every active window fault (used by teardown paths)."""
         for fault in list(self.active):
             self._stop(fault)
+
+    def track_operation(self, handle) -> None:
+        """Register a schedule-fired operation handle for liveness checking."""
+        self.pending_operations.append(handle)
+
+    def operation_errors(self) -> List[str]:
+        """Failures of schedule-fired operations: exceptions and stalls.
+
+        Called after the simulator drained; an operation that neither
+        completed nor raised by then can never make progress (the event
+        queue is empty), so it is reported as stalled.
+        """
+        errors = []
+        for handle in self.pending_operations:
+            if handle.exception() is not None:
+                errors.append(repr(handle.exception()))
+            elif not handle.done():
+                label = getattr(handle, "label", "") or "operation"
+                errors.append(f"chaos-triggered {label!r} never completed (stalled)")
+        return errors
 
     def record(self, text: str) -> None:
         """Append a timestamped line to the chaos log."""

@@ -32,7 +32,7 @@ schedules inside the tolerance when they also assert liveness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Tuple, TYPE_CHECKING, Union
+from typing import Callable, FrozenSet, Iterable, Optional, Tuple, TYPE_CHECKING, Union
 
 from repro.common.ids import ProcessId
 
@@ -190,6 +190,41 @@ class Heal(Fault):
 
     def start(self, engine: "ChaosEngine") -> None:
         engine.heal_partitions()
+
+
+# ------------------------------------------------------------ reconfiguration
+@dataclass(frozen=True, eq=False)
+class Reconfigure(Fault):
+    """Point action firing a reconfiguration/migration from a fault schedule.
+
+    ``action`` is a zero-argument callable -- typically a closure over the
+    deployment, e.g. ``lambda: store.spawn_migrate_shard(0, dap="treas",
+    fresh_servers=6)`` -- invoked at the scheduled time.  When it returns a
+    coroutine handle, the handle is registered with the engine
+    (:meth:`~repro.chaos.engine.ChaosEngine.track_operation`) so the
+    scenario runner can assert the triggered operation neither stalled nor
+    raised, exactly like the workload sessions.
+
+    Strictly speaking a reconfiguration is an *operation*, not a fault --
+    but scripting it through the schedule DSL is what lets adversary
+    scenarios interleave migrations with crashes and partitions at exact
+    virtual times, which is where reconfiguration bugs live.
+    """
+
+    action: Callable[[], object]
+    note: str
+
+    def __init__(self, action: Callable[[], object], note: str = "migration") -> None:
+        object.__setattr__(self, "action", action)
+        object.__setattr__(self, "note", note)
+
+    def describe(self) -> str:
+        return f"reconfigure({self.note})"
+
+    def start(self, engine: "ChaosEngine") -> None:
+        handle = self.action()
+        if handle is not None:
+            engine.track_operation(handle)
 
 
 # ------------------------------------------------------------- message chaos

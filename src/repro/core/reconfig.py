@@ -20,11 +20,23 @@ A ``reconfig(c)`` operation consists of four consecutively executed phases:
 ``finalize-config``
     Mark the new configuration ``F`` and propagate the finalized record to a
     quorum of the previous configuration.
+
+Per-object batches
+------------------
+The four phases are implemented by :class:`ReconfigOpsMixin`, parameterised
+over the register's local state (its ``cseq`` and a ``configuration ->
+DapClient`` resolver) exactly like the read/write operations in
+:class:`~repro.core.client.RegisterOpsMixin`.  The single-register
+:class:`AresReconfigurer` binds them to its one ``cseq``; the sharded
+store's :class:`~repro.store.reconfigurer.ShardReconfigurer` binds them to
+one ``cseq`` *per object key* and runs whole shards' worth of per-key
+reconfigurations concurrently -- both drive the **same** Algorithm 5
+implementation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.common.ids import ConfigId, ProcessId
 from repro.common.tags import BOTTOM_TAG, TagValue
@@ -42,8 +54,114 @@ from repro.spec.history import History, OperationType
 from repro.spec.properties import DapRecorder
 
 
-class AresReconfigurer(Process, SequenceTraversalMixin):
-    """A reconfiguration client.
+class ReconfigOpsMixin(SequenceTraversalMixin):
+    """The Algorithm 5 reconfiguration phases, shared by every reconfigurer.
+
+    Hosts must be :class:`~repro.sim.process.Process` subclasses with a
+    ``history`` attribute (``None`` disables recording) and a ``directory``.
+    Every phase is parameterised over the target register's local state --
+    its configuration sequence ``cseq`` and a ``configuration -> DapClient``
+    resolver -- so the single-register :class:`AresReconfigurer` (one
+    ``cseq``) and the store's per-shard
+    :class:`~repro.store.reconfigurer.ShardReconfigurer` (one ``cseq`` per
+    object key) run one implementation.
+    """
+
+    #: Extra latency added to every consensus decision (the ``T(CN)`` knob).
+    consensus_delay: float = 0.0
+    #: Number of reconfig operations this client completed.
+    completed_reconfigs: int = 0
+
+    def _register_reconfig(self, cseq: ConfigSequence, dap_for, proposed: Configuration,
+                           key: Optional[str] = None,
+                           update: Optional[Callable] = None):
+        """Coroutine: run all four phases against one register's sequence.
+
+        Returns the configuration that was actually installed at the index
+        the proposal targeted (the decided one, which may differ from
+        ``proposed`` under contention).  ``update`` optionally overrides the
+        update-config phase (the Section 5 direct-transfer path); ``key``
+        tags the history record for keyed (store) registers.
+        """
+        record = None
+        if self.history is not None:
+            record = self.history.invoke(self.pid, OperationType.RECONFIG, self.now,
+                                         value_label=str(proposed.cfg_id), key=key)
+        self.directory.register(proposed)
+
+        # Phase 1: read-config.
+        yield from self.read_config(cseq)
+
+        # Phase 2: add-config.
+        installed = yield from self._add_config(cseq, proposed)
+
+        # Phase 3: update-config.
+        if update is not None:
+            yield from update()
+        else:
+            yield from self._update_config(cseq, dap_for)
+
+        # Phase 4: finalize-config.
+        yield from self._finalize_config(cseq)
+
+        self.completed_reconfigs += 1
+        if record is not None:
+            self.history.respond(record, self.now, config_id=installed.cfg_id)
+        return installed
+
+    # ----------------------------------------------------------- add-config
+    def _add_config(self, cseq: ConfigSequence, proposed: Configuration):
+        """Coroutine: decide the successor of the last configuration and append it."""
+        last = cseq.last.config
+        proposer = PaxosProposer(self, last, instance=last.cfg_id,
+                                 extra_decision_delay=self.consensus_delay)
+        decision = yield from proposer.propose(proposed)
+        installed: Configuration = decision.value
+        self.directory.register(installed)
+        record = ConfigRecord(installed, Status.PENDING)
+        if cseq.nu >= 0 and cseq.last.config.cfg_id == installed.cfg_id:
+            # A concurrent reconfigurer already propagated the decision and we
+            # observed it during read-config; nothing to append.
+            pass
+        else:
+            cseq.append(record)
+        yield from self.put_config(last, record)
+        return installed
+
+    # -------------------------------------------------------- update-config
+    def _update_config(self, cseq: ConfigSequence, dap_for):
+        """Coroutine: transfer the latest tag-value pair into the new configuration.
+
+        The baseline ARES transfer: the reconfigurer itself reads the value
+        (``get-data``) from every configuration in ``[µ, ν]`` and writes it
+        (``put-data``) to the last one -- i.e. object data flows through the
+        reconfiguration client.
+        """
+        mu = cseq.mu
+        nu = cseq.nu
+        best = TagValue(tag=BOTTOM_TAG, value=BOTTOM_VALUE)
+        for index in range(mu, nu + 1):
+            configuration = cseq.config_at(index)
+            pair = yield from dap_for(configuration).get_data()
+            if pair.tag > best.tag:
+                best = pair
+        target = cseq.config_at(nu)
+        yield from dap_for(target).put_data(best)
+        return best
+
+    # ------------------------------------------------------ finalize-config
+    def _finalize_config(self, cseq: ConfigSequence):
+        """Coroutine: mark the last configuration finalized and propagate the record."""
+        nu = cseq.nu
+        cseq.finalize(nu)
+        finalized = cseq[nu]
+        previous = cseq.config_at(nu - 1) if nu > 0 else cseq.config_at(0)
+        yield from self.put_config(previous, finalized)
+        return finalized
+
+
+class AresReconfigurer(Process, ReconfigOpsMixin):
+    """A reconfiguration client for a single ARES register.
 
     Parameters
     ----------
@@ -71,7 +189,6 @@ class AresReconfigurer(Process, SequenceTraversalMixin):
         directory.register(initial_configuration)
         self.cseq = ConfigSequence(initial_configuration)
         self._dap_clients: Dict[ConfigId, DapClient] = {}
-        #: Number of reconfig operations this client completed.
         self.completed_reconfigs = 0
 
     # --------------------------------------------------------------- plumbing
@@ -90,75 +207,23 @@ class AresReconfigurer(Process, SequenceTraversalMixin):
         Returns the configuration that was actually installed (the decided
         one, which may differ from ``proposed`` under contention).
         """
-        record = None
-        if self.history is not None:
-            record = self.history.invoke(self.pid, OperationType.RECONFIG, self.now,
-                                         value_label=str(proposed.cfg_id))
-        self.directory.register(proposed)
+        return self._register_reconfig(self.cseq, self.dap_for, proposed,
+                                       update=self.update_config)
 
-        # Phase 1: read-config.
-        yield from self.read_config(self.cseq)
-
-        # Phase 2: add-config.
-        installed = yield from self.add_config(proposed)
-
-        # Phase 3: update-config.
-        yield from self.update_config()
-
-        # Phase 4: finalize-config.
-        yield from self.finalize_config()
-
-        self.completed_reconfigs += 1
-        if record is not None:
-            self.history.respond(record, self.now, config_id=installed.cfg_id)
-        return installed
-
-    # ----------------------------------------------------------- add-config
+    # ---------------------------------------------- overridable phase wrappers
     def add_config(self, proposed: Configuration):
-        """Coroutine: decide the successor of the last configuration and append it."""
-        last = self.cseq.last.config
-        proposer = PaxosProposer(self, last, instance=last.cfg_id,
-                                 extra_decision_delay=self.consensus_delay)
-        decision = yield from proposer.propose(proposed)
-        installed: Configuration = decision.value
-        self.directory.register(installed)
-        record = ConfigRecord(installed, Status.PENDING)
-        if self.cseq.nu >= 0 and self.cseq.last.config.cfg_id == installed.cfg_id:
-            # A concurrent reconfigurer already propagated the decision and we
-            # observed it during read-config; nothing to append.
-            pass
-        else:
-            self.cseq.append(record)
-        yield from self.put_config(last, record)
-        return installed
+        """Coroutine: the add-config phase against this client's ``cseq``."""
+        return self._add_config(self.cseq, proposed)
 
-    # -------------------------------------------------------- update-config
     def update_config(self):
-        """Coroutine: transfer the latest tag-value pair into the new configuration.
+        """Coroutine: the update-config phase against this client's ``cseq``.
 
-        The baseline ARES transfer: the reconfigurer itself reads the value
-        (``get-data``) from every configuration in ``[µ, ν]`` and writes it
-        (``put-data``) to the last one -- i.e. object data flows through the
-        reconfiguration client.
+        Subclasses override exactly this method to replace the state
+        transfer (the Section 5 direct server-to-server path of
+        :class:`~repro.core.ares_treas.DirectTransferReconfigurer`).
         """
-        mu = self.cseq.mu
-        nu = self.cseq.nu
-        best = TagValue(tag=BOTTOM_TAG, value=BOTTOM_VALUE)
-        for index in range(mu, nu + 1):
-            configuration = self.cseq.config_at(index)
-            pair = yield from self.dap_for(configuration).get_data()
-            if pair.tag > best.tag:
-                best = pair
-        target = self.cseq.config_at(nu)
-        yield from self.dap_for(target).put_data(best)
-        return best
+        return self._update_config(self.cseq, self.dap_for)
 
-    # ------------------------------------------------------ finalize-config
     def finalize_config(self):
-        """Coroutine: mark the last configuration finalized and propagate the record."""
-        nu = self.cseq.nu
-        self.cseq.finalize(nu)
-        finalized = self.cseq[nu]
-        previous = self.cseq.config_at(nu - 1) if nu > 0 else self.cseq.config_at(0)
-        yield from self.put_config(previous, finalized)
-        return finalized
+        """Coroutine: the finalize-config phase against this client's ``cseq``."""
+        return self._finalize_config(self.cseq)

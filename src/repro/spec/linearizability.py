@@ -455,6 +455,15 @@ def check_linearizability_per_key(history: History,
     reconfigurations mixed into a store history) form their own group; with
     no read/write operations it passes trivially.  Every key is checked
     even after a failure so ``results`` is always complete.
+
+    Records spanning config epochs: a store key that was live-migrated
+    (new servers, a different DAP kind, or another shard) records *keyed*
+    ``RECONFIG`` operations alongside its reads and writes, and its
+    read/write records straddle several configurations.  The per-key
+    checkers accept such sub-histories as-is -- reconfigurations impose no
+    register semantics (the type filters skip them) and linearizability is
+    configuration-agnostic, which is exactly the paper's claim that
+    atomicity survives reconfiguration.
     """
     results: Dict[Optional[str], LinearizabilityResult] = {}
     ok = True
@@ -473,8 +482,11 @@ def check_tag_monotonicity_per_key(history: History) -> Optional[str]:
 
     Tags of different objects live in independent tag spaces (each key has
     its own writes), so the Lemma 20 condition only binds operations on the
-    same key.  Returns the first violation prefixed with its key, or
-    ``None``.
+    same key.  The condition deliberately spans config epochs: a migration
+    transfers the maximum tag into the new configuration, so tags must stay
+    monotone *across* the key's reconfigurations (keyed ``RECONFIG``
+    records themselves carry no register tag and are skipped).  Returns the
+    first violation prefixed with its key, or ``None``.
     """
     for key, sub in history.split_by_key().items():
         violation = check_tag_monotonicity(sub)

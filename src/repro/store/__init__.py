@@ -15,7 +15,11 @@ the ARES client algorithm independently per key.
   ``read``/``write`` plus ``multi_get``/``multi_put`` batches whose per-key
   quorum rounds are pipelined concurrently through the futures layer.
 * :mod:`repro.store.deployment`  -- :class:`StoreDeployment`: the wired
-  system (servers, clients, shard map, shared keyed history).
+  system (servers, clients, reconfigurers, shard map, shared keyed history).
+* :mod:`repro.store.reconfigurer` -- :class:`ShardReconfigurer`: live
+  per-shard migrations (new servers and/or DAP kind) and key-range
+  rebalances driving the ARES reconfiguration traversal per object key,
+  versioned through the shard map's config epochs.
 
 Store histories are keyed: every operation records the object it touched,
 and verification runs **per key** (each object is an independent atomic
@@ -39,14 +43,26 @@ A minimal session::
 
 from repro.store.client import StoreClient
 from repro.store.deployment import StoreDeployment, StoreSpec
+from repro.store.reconfigurer import ShardReconfigurer
 from repro.store.server import StoreServer
-from repro.store.shardmap import SHARD_DAP_KINDS, Shard, ShardMap, ShardSpec, shard_index_for
+from repro.store.shardmap import (
+    SHARD_DAP_KINDS,
+    Placement,
+    Shard,
+    ShardMap,
+    ShardSpec,
+    StaleEpochError,
+    shard_index_for,
+)
 
 __all__ = [
     "SHARD_DAP_KINDS",
+    "Placement",
     "Shard",
     "ShardMap",
+    "ShardReconfigurer",
     "ShardSpec",
+    "StaleEpochError",
     "StoreClient",
     "StoreDeployment",
     "StoreServer",

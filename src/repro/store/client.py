@@ -33,7 +33,7 @@ from repro.sim.futures import all_of
 from repro.sim.process import Process
 from repro.spec.history import History
 from repro.spec.properties import DapRecorder
-from repro.store.shardmap import ShardMap
+from repro.store.shardmap import ShardMap, StaleEpochError
 
 
 class _KeyRegister:
@@ -79,13 +79,36 @@ class StoreClient(Process, RegisterOpsMixin):
         self.dap_recorder = dap_recorder
         self._registers: Dict[str, _KeyRegister] = {}
         self._write_counter = 0
+        #: The shard-map epoch this client last resolved a key against.  The
+        #: map refuses stale-epoch lookups, so a client that fell behind a
+        #: reconfiguration converges through the explicit forwarding path
+        #: (and the count below witnesses that it happened).
+        self.known_epoch = shard_map.epoch
+        #: Number of stale-epoch resolutions this client recovered from.
+        self.forwarded_lookups = 0
 
     # --------------------------------------------------------------- plumbing
     def register_for(self, key: str) -> _KeyRegister:
-        """The per-key state (configuration sequence), created on first use."""
+        """The per-key state (configuration sequence), created on first use.
+
+        Resolution asserts the client's cached shard-map epoch; when a
+        migration or rebalance advanced the map in the meantime, the client
+        converges via :meth:`~repro.store.shardmap.ShardMap.forward` and
+        re-resolves at the current epoch.  Keys this client already operates
+        on are *not* re-resolved -- their configuration sequences follow
+        reconfigurations through the ARES traversal itself.
+        """
         register = self._registers.get(key)
         if register is None:
-            configuration = self.shard_map.configuration_for(key)
+            try:
+                configuration = self.shard_map.configuration_for(
+                    key, epoch=self.known_epoch)
+            except StaleEpochError:
+                placement = self.shard_map.forward(key, self.known_epoch)
+                self.known_epoch = placement.epoch
+                self.forwarded_lookups += 1
+                configuration = self.shard_map.configuration_for(
+                    key, epoch=placement.epoch)
             register = _KeyRegister(ConfigSequence(configuration))
             self._registers[key] = register
         return register

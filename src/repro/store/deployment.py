@@ -21,7 +21,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
-from repro.common.ids import ProcessId, reader_id, server_id, writer_id
+from repro.common.ids import (
+    ProcessId,
+    reader_id,
+    reconfigurer_id,
+    server_id,
+    writer_id,
+)
 from repro.common.values import Value
 from repro.core.directory import ConfigurationDirectory
 from repro.net.latency import LatencyModel, UniformLatency
@@ -31,6 +37,7 @@ from repro.sim.futures import Coroutine
 from repro.spec.history import History
 from repro.spec.properties import DapRecorder
 from repro.store.client import StoreClient
+from repro.store.reconfigurer import ShardReconfigurer
 from repro.store.server import StoreServer
 from repro.store.shardmap import Shard, ShardMap, ShardSpec
 
@@ -47,6 +54,9 @@ class StoreSpec:
         different DAP kind.
     num_writers, num_readers:
         Client population (every client can address every key).
+    num_reconfigurers:
+        :class:`~repro.store.reconfigurer.ShardReconfigurer` population
+        (shard migrations and key-range rebalances).
     latency:
         Network latency model (default ``UniformLatency(1, 2)``).
     seed:
@@ -58,6 +68,7 @@ class StoreSpec:
     shards: Tuple[ShardSpec, ...] = (ShardSpec(), ShardSpec())
     num_writers: int = 2
     num_readers: int = 2
+    num_reconfigurers: int = 1
     latency: Optional[LatencyModel] = None
     seed: int = 0
     record_dap: bool = False
@@ -110,9 +121,29 @@ class StoreDeployment:
                         history=self.history, dap_recorder=self.dap_recorder)
             for i in range(spec.num_readers)
         ]
-        #: Stores are (for now) statically configured per shard; the empty
-        #: list keeps the scenario runner's deployment surface uniform.
-        self.reconfigurers: List = []
+        self.reconfigurers: List[ShardReconfigurer] = [
+            ShardReconfigurer(reconfigurer_id(i), self.network, self.directory,
+                              self.shard_map, history=self.history,
+                              dap_recorder=self.dap_recorder)
+            for i in range(spec.num_reconfigurers)
+        ]
+        self._next_server_index = next_index
+
+    # --------------------------------------------------------------- topology
+    def add_servers(self, count: int) -> List[ProcessId]:
+        """Add ``count`` fresh store servers to the pool and return their ids.
+
+        Fresh servers start with no shard membership; a shard migration
+        (:meth:`migrate_shard`) recruits them as a target slice.
+        """
+        added = []
+        for _ in range(count):
+            pid = server_id(self._next_server_index)
+            self._next_server_index += 1
+            self.servers[pid] = StoreServer(pid, self.network, self.directory,
+                                            shard_map=self.shard_map)
+            added.append(pid)
+        return added
 
     # ------------------------------------------------------------ operations
     def put(self, key: str, value: Value, writer_index: int = 0):
@@ -138,6 +169,67 @@ class StoreDeployment:
         reader = self.readers[reader_index]
         op = reader.spawn(reader.multi_get(keys), label=f"{reader.pid}:multi_get")
         return self.sim.run_until_complete(op)
+
+    # -------------------------------------------------------- reconfiguration
+    def migrate_shard(self, shard_index: int, dap: Optional[str] = None,
+                      fresh_servers: int = 0, k: Optional[int] = None,
+                      delta: Optional[int] = None,
+                      reconfigurer_index: int = 0) -> int:
+        """Run a live shard migration to completion; returns the new epoch.
+
+        ``fresh_servers > 0`` recruits that many new server processes as the
+        shard's target slice; ``0`` keeps the current slice (a pure DAP
+        flip).  ``dap``/``k``/``delta`` override the shard's kind and TREAS
+        parameters.
+        """
+        op = self.spawn_migrate_shard(shard_index, dap=dap,
+                                      fresh_servers=fresh_servers, k=k,
+                                      delta=delta,
+                                      reconfigurer_index=reconfigurer_index)
+        return self.sim.run_until_complete(op)
+
+    def move_keys(self, keys, target_shard_index: int,
+                  reconfigurer_index: int = 0) -> int:
+        """Run a key-range rebalance to completion; returns the new epoch."""
+        op = self.spawn_move_keys(keys, target_shard_index,
+                                  reconfigurer_index=reconfigurer_index)
+        return self.sim.run_until_complete(op)
+
+    def split_shard(self, source_index: int, left_index: int, right_index: int,
+                    reconfigurer_index: int = 0) -> int:
+        """Split a shard's keys across two target shards; returns the epoch."""
+        op = self.spawn_split_shard(source_index, left_index, right_index,
+                                    reconfigurer_index=reconfigurer_index)
+        return self.sim.run_until_complete(op)
+
+    def spawn_migrate_shard(self, shard_index: int, dap: Optional[str] = None,
+                            fresh_servers: int = 0, k: Optional[int] = None,
+                            delta: Optional[int] = None,
+                            reconfigurer_index: int = 0) -> Coroutine:
+        """Start a shard migration without driving the simulator."""
+        servers = self.add_servers(fresh_servers) if fresh_servers else None
+        reconfigurer = self.reconfigurers[reconfigurer_index]
+        return reconfigurer.spawn(
+            reconfigurer.migrate_shard(shard_index, dap=dap, servers=servers,
+                                       k=k, delta=delta),
+            label=f"{reconfigurer.pid}:migrate-shard-{shard_index}")
+
+    def spawn_move_keys(self, keys, target_shard_index: int,
+                        reconfigurer_index: int = 0) -> Coroutine:
+        """Start a key-range rebalance without driving the simulator."""
+        reconfigurer = self.reconfigurers[reconfigurer_index]
+        return reconfigurer.spawn(
+            reconfigurer.move_keys(list(keys), target_shard_index),
+            label=f"{reconfigurer.pid}:move-keys-to-{target_shard_index}")
+
+    def spawn_split_shard(self, source_index: int, left_index: int,
+                          right_index: int,
+                          reconfigurer_index: int = 0) -> Coroutine:
+        """Start a shard split without driving the simulator."""
+        reconfigurer = self.reconfigurers[reconfigurer_index]
+        return reconfigurer.spawn(
+            reconfigurer.split_shard(source_index, left_index, right_index),
+            label=f"{reconfigurer.pid}:split-shard-{source_index}")
 
     # ----------------------------------------------------------- async forms
     def spawn_put(self, key: str, value: Value, writer_index: int = 0) -> Coroutine:

@@ -13,13 +13,16 @@ parallel signature equality (``--check-serial``).
 """
 
 from repro.sweep.engine import campaign, default_jobs, execute_run
-from repro.sweep.grid import (RunSpec, SweepGrid, WORKLOAD_PARAM_FIELDS,
+from repro.sweep.grid import (GRID_PARAM_FIELDS, RunSpec, SCENARIO_PARAM_FIELDS,
+                              SweepGrid, WORKLOAD_PARAM_FIELDS,
                               parse_grid, parse_seeds, resolve_scenarios)
 from repro.sweep.result import RunRecord, SweepResult, latency_summary
 
 __all__ = [
+    "GRID_PARAM_FIELDS",
     "RunRecord",
     "RunSpec",
+    "SCENARIO_PARAM_FIELDS",
     "SweepGrid",
     "SweepResult",
     "WORKLOAD_PARAM_FIELDS",

@@ -52,14 +52,36 @@ def execute_run(spec: RunSpec) -> RunRecord:
     # Imported here so a spawn-start worker pays the import in its own
     # process and the module stays import-light for the CLI --list path.
     from repro.spec.history import OperationType
+    from repro.sweep.grid import SCENARIO_PARAM_FIELDS
     from repro.workloads.scenarios import get_scenario, run_scenario_instance
 
     start = time.perf_counter()
     try:
         scenario = get_scenario(spec.scenario)
         if spec.params:
-            scenario = replace(scenario,
-                               workload=replace(scenario.workload, **dict(spec.params)))
+            overrides = dict(spec.params)
+            # Reconfiguration-rate axes override scenario fields; everything
+            # else is a workload field.
+            scenario_overrides = {field: overrides.pop(field)
+                                  for field in SCENARIO_PARAM_FIELDS
+                                  if field in overrides}
+            if overrides:
+                scenario = replace(scenario,
+                                   workload=replace(scenario.workload, **overrides))
+            if scenario_overrides:
+                scenario = replace(scenario, **scenario_overrides)
+                if scenario.num_reconfigs == 0 and \
+                        "num_reconfigs" not in scenario_overrides:
+                    # Mirror the explicit keyspace-axis mismatch error: a
+                    # cadence/fresh-servers axis on a scenario that never
+                    # reconfigures would expand to byte-identical cells
+                    # presented as a real sweep.  (Sweeping num_reconfigs
+                    # itself, including a 0 baseline, stays legitimate.)
+                    inert = sorted(scenario_overrides)
+                    raise ValueError(
+                        f"grid axis {', '.join(inert)} has no effect: "
+                        f"scenario {spec.scenario!r} runs 0 reconfigurations;"
+                        f" add a num_reconfigs axis")
         result = run_scenario_instance(scenario, seed=spec.seed)
 
         signature_hash = hashlib.sha256(

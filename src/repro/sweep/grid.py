@@ -15,8 +15,12 @@ Clauses are ``key=value`` pairs separated by ``;``.  ``scenarios`` takes a
 comma list of names or ``fnmatch`` patterns (``all`` is every registered
 scenario); ``seeds`` takes a comma list of integers or an inclusive
 ``lo..hi`` range; every other key must be a workload field
-(:data:`WORKLOAD_PARAM_FIELDS`) and contributes one axis to the parameter
-cross-product.
+(:data:`WORKLOAD_PARAM_FIELDS`) or a reconfiguration-rate scenario field
+(:data:`SCENARIO_PARAM_FIELDS`) and contributes one axis to the parameter
+cross-product::
+
+    scenarios=store_shard_migration_storm;seeds=0..3;num_reconfigs=0,2,4
+    scenarios=abd_reconfig_crash;seeds=0;reconfig_cadence=4.0,8.0,16.0
 """
 
 from __future__ import annotations
@@ -31,9 +35,10 @@ from typing import Dict, List, Sequence, Tuple
 #: think time) plus the store keyspace axes (keyspace size, batch width);
 #: anything else in a scenario (fault schedule, deployment shape, key
 #: distribution) is part of the scenario's identity and gets a new
-#: registration instead of an override.  The keyspace axes only apply to
-#: store scenarios -- overriding ``num_keys`` on a single-register scenario
-#: fails the cell with an explicit workload/deployment mismatch error.
+#: registration instead of an override -- except the reconfiguration-rate
+#: fields below.  The keyspace axes only apply to store scenarios --
+#: overriding ``num_keys`` on a single-register scenario fails the cell
+#: with an explicit workload/deployment mismatch error.
 WORKLOAD_PARAM_FIELDS: Dict[str, type] = {
     "value_size": int,
     "think_time": float,
@@ -42,6 +47,23 @@ WORKLOAD_PARAM_FIELDS: Dict[str, type] = {
     "num_keys": int,
     "batch_size": int,
 }
+
+#: Scenario-level fields a grid may override, with their parsers.  These
+#: control the *reconfiguration rate*: how many reconfigurations run
+#: concurrently with the workload, the pause before each, and how many
+#: fresh servers every round recruits.  On single-register scenarios they
+#: drive the ARES reconfigurer; on store scenarios they drive live shard
+#: migrations, so capacity/latency-vs-reconfig-rate curves run as sweep
+#: campaigns.
+SCENARIO_PARAM_FIELDS: Dict[str, type] = {
+    "num_reconfigs": int,
+    "reconfig_cadence": float,
+    "fresh_servers": int,
+}
+
+#: Every grid-overridable field (the union the parser and validator accept).
+GRID_PARAM_FIELDS: Dict[str, type] = {**WORKLOAD_PARAM_FIELDS,
+                                      **SCENARIO_PARAM_FIELDS}
 
 
 def format_cell_id(scenario: str, seed: int,
@@ -94,10 +116,10 @@ class SweepGrid:
             raise ValueError("a sweep grid needs at least one seed")
         seen_fields = set()
         for field, values in self.params:
-            if field not in WORKLOAD_PARAM_FIELDS:
+            if field not in GRID_PARAM_FIELDS:
                 raise ValueError(
                     f"unknown grid parameter {field!r}; allowed: "
-                    f"{', '.join(sorted(WORKLOAD_PARAM_FIELDS))}")
+                    f"{', '.join(sorted(GRID_PARAM_FIELDS))}")
             if field in seen_fields:
                 # Duplicate axes would expand to distinct cell ids that all
                 # run the last axis's value (dict(params) keeps one pair).
@@ -206,14 +228,14 @@ def parse_grid(text: str) -> SweepGrid:
             scenarios = resolve_scenarios(value.split(","))
         elif key == "seeds":
             seeds = parse_seeds(value)
-        elif key in WORKLOAD_PARAM_FIELDS:
-            parser = WORKLOAD_PARAM_FIELDS[key]
+        elif key in GRID_PARAM_FIELDS:
+            parser = GRID_PARAM_FIELDS[key]
             values = tuple(parser(part) for part in value.split(",") if part.strip())
             params.append((key, values))
         else:
             raise ValueError(
                 f"unknown grid key {key!r}; allowed: scenarios, seeds, "
-                f"{', '.join(sorted(WORKLOAD_PARAM_FIELDS))}")
+                f"{', '.join(sorted(GRID_PARAM_FIELDS))}")
     if not scenarios:
         raise ValueError("grid must name scenarios (e.g. scenarios=all)")
     return SweepGrid(scenarios=scenarios, seeds=seeds, params=tuple(params))

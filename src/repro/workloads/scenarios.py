@@ -30,6 +30,7 @@ from repro.chaos.faults import (
     Duplicate,
     Isolate,
     LatencySpike,
+    Reconfigure,
     Reorder,
     Restart,
     SlowServer,
@@ -330,16 +331,44 @@ def run_scenario_instance(scenario: ChaosScenario, seed: int = 0,
             reconfig_errors.append(repr(reconfig_session.exception()))
         elif not reconfig_session.done():
             reconfig_errors.append("reconfiguration session never completed (stalled)")
+    # Schedule-fired operations (Reconfigure migrations) are held to the
+    # same liveness standard as the workload sessions.
+    reconfig_errors.extend(engine.operation_errors())
     return ChaosRunResult(scenario=scenario, seed=seed, deployment=deployment,
                           workload=workload, engine=engine, schedule=schedule,
                           reconfig_errors=reconfig_errors,
                           profile_summary=profile_summary)
 
 
-def _spawn_reconfig_session(deployment: AresDeployment, scenario: ChaosScenario):
-    """Start the scenario's reconfiguration pressure as a client coroutine."""
+def _spawn_reconfig_session(deployment, scenario: ChaosScenario):
+    """Start the scenario's reconfiguration pressure as a client coroutine.
+
+    Single-register deployments reconfigure the one ARES object; keyed
+    (store) deployments instead run *shard migrations* -- each round
+    migrates shard ``index % num_shards`` onto ``fresh_servers`` new
+    servers (or flips its DAP in place when ``fresh_servers`` is 0),
+    cycling through ``reconfig_daps``.  The cadence and round count are
+    plain scenario fields, which is what lets the sweep engine use the
+    reconfiguration *rate* as a grid axis.
+    """
     reconfigurer = deployment.reconfigurers[0]
     daps = scenario.reconfig_daps or (scenario.dap,)
+
+    if getattr(deployment, "keyed", False):
+        num_shards = deployment.shard_map.num_shards
+
+        def session():
+            for index in range(scenario.num_reconfigs):
+                yield reconfigurer.sleep(scenario.reconfig_cadence)
+                shard_index = index % num_shards
+                dap = daps[index % len(daps)] if scenario.reconfig_daps else None
+                servers = (deployment.add_servers(scenario.fresh_servers)
+                           if scenario.fresh_servers else None)
+                yield from reconfigurer.migrate_shard(shard_index, dap=dap,
+                                                      servers=servers)
+            return None
+
+        return reconfigurer.spawn(session(), label="chaos-reconfig-session")
 
     def session():
         for index in range(scenario.num_reconfigs):
@@ -601,4 +630,87 @@ register_scenario(ChaosScenario(
     schedule=lambda d: Schedule([During(6, 36, Isolate("s4", "s10"))]),
     workload=WorkloadSpec(operations_per_writer=3, operations_per_reader=3,
                           value_size=256, think_time=2.0, num_keys=10),
+))
+
+
+def _dap_flip_store(seed: int) -> StoreDeployment:
+    """Two shards: TREAS [6,4] (s0-s5) + ABD-5 (s6-s10)."""
+    return StoreDeployment(StoreSpec(
+        shards=(ShardSpec(dap="treas", num_servers=6, k=4, delta=8),
+                ShardSpec(dap="abd", num_servers=5)),
+        num_writers=2, num_readers=2,
+        latency=UniformLatency(1.0, 2.0), seed=seed))
+
+
+def _dap_flip_schedule(deployment: StoreDeployment) -> Schedule:
+    """Flip shard 0 TREAS->ABD in place, with a partition and a crash.
+
+    Fault budget: the flip keeps shard 0 on its 6 servers, so before the
+    flip the shard tolerates 1 crash (TREAS [6,4]) and after it 2 (ABD-6
+    majority); crashing one shard-0 server at t=26 is inside both
+    envelopes.  Isolating one ABD-5 shard-1 server (tolerance 2) leaves
+    its quorums intact.
+    """
+    return Schedule([
+        At(10, Reconfigure(lambda: deployment.spawn_migrate_shard(0, dap="abd"),
+                           note="flip shard 0 treas->abd")),
+        During(16, 34, Isolate("s10")),
+        At(26, Crash("s4")),
+    ])
+
+
+def _rebalance_schedule(deployment: StoreDeployment) -> Schedule:
+    """Move the Zipf-hot key range off its shard, then crash an old server.
+
+    The hot range ``k0..k3`` is rebalanced onto the shard *after* ``k0``'s
+    (mod the shard count) at t=10; at t=24 one server of ``k0``'s original
+    ABD-5 shard crashes (tolerance 2), so stale readers that still traverse
+    the old configuration keep their quorums.
+    """
+    source = deployment.shard_map.shard_index("k0")
+    target = (source + 1) % deployment.shard_map.num_shards
+    victims = deployment.shard_map.servers_for_key("k0")
+    hot_range = ["k0", "k1", "k2", "k3"]
+    return Schedule([
+        At(10, Reconfigure(lambda: deployment.spawn_move_keys(hot_range, target),
+                           note=f"rebalance hot range -> shard {target}")),
+        At(24, Crash(victims[-1])),
+    ])
+
+
+register_scenario(ChaosScenario(
+    name="store_shard_migration_storm",
+    description=("Sharded ABD+TREAS+LDR store live-migrating two shards onto "
+                 "fresh servers (TREAS shard flips to ABD) under packet chaos"),
+    dap="store", faults=("reconfig", "duplicate", "reorder"),
+    deployment=_store_mixed_deployment,
+    schedule=lambda d: Schedule([During(4, 45, Duplicate(0.25), Reorder(1.5))]),
+    workload=WorkloadSpec(operations_per_writer=3, operations_per_reader=3,
+                          value_size=256, think_time=2.0, num_keys=10),
+    num_reconfigs=2, reconfig_cadence=6.0, fresh_servers=6,
+    reconfig_daps=("abd", "abd"),
+))
+
+register_scenario(ChaosScenario(
+    name="store_dap_flip_under_chaos",
+    description=("Store shard flips TREAS->ABD in place while one server of "
+                 "the other shard is partitioned away and an old server crashes"),
+    dap="store", faults=("reconfig", "partition", "crash"),
+    deployment=_dap_flip_store,
+    schedule=_dap_flip_schedule,
+    workload=WorkloadSpec(operations_per_writer=3, operations_per_reader=3,
+                          value_size=256, think_time=2.0,
+                          num_keys=10, batch_size=2),
+))
+
+register_scenario(ChaosScenario(
+    name="store_rebalance_hot_range",
+    description=("Zipf hot-key traffic while the hot key range is rebalanced "
+                 "onto another shard and a server of the old shard crashes"),
+    dap="store", faults=("reconfig", "crash"),
+    deployment=_store_abd_deployment,
+    schedule=_rebalance_schedule,
+    workload=WorkloadSpec(operations_per_writer=4, operations_per_reader=4,
+                          value_size=256, think_time=2.0,
+                          num_keys=16, key_distribution="zipf", zipf_s=1.4),
 ))

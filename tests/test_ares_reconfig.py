@@ -177,6 +177,112 @@ class TestConcurrentReconfigurations:
         assert result.ok, result.reason
 
 
+class TestReconfigErrorPaths:
+    """Off-the-happy-path behaviour of Algorithm 5 (previously untested)."""
+
+    def test_reconfig_onto_crashed_target_quorum_raises(self):
+        """Proposing a configuration whose servers are (mostly) dead fails
+        fast: the update phase cannot gather the target quorum and the
+        coroutine surfaces ``QuorumUnavailableError`` instead of hanging."""
+        from repro.common.errors import QuorumUnavailableError
+
+        dep = make_deployment()
+        dep.write(Value.of_size(64, label="pre"), 0)
+        cfg = dep.make_configuration(dap="abd", fresh_servers=3)
+        for pid in cfg.servers:
+            dep.network.crash(pid)
+        handle = dep.spawn_reconfig(cfg, 0)
+        dep.run()
+        assert isinstance(handle.exception(), QuorumUnavailableError)
+        # The pending record was already announced to the old quorum before
+        # the transfer failed, so Algorithm 7 forces later operations through
+        # the dead configuration too: they fail fast the same way instead of
+        # silently serving from the old quorum (which would break atomicity
+        # if the new servers ever came back).
+        late = dep.spawn_write(Value.of_size(64, label="post"), 0)
+        dep.run()
+        assert isinstance(late.exception(), QuorumUnavailableError)
+
+    def test_reconfig_onto_partitioned_quorum_stalls_but_stays_safe(self):
+        """A partition (not a crash) of the target servers is outside the
+        liveness envelope: the reconfiguration must stall -- requests are
+        dropped, not refused -- while safety of everything completed so far
+        holds and the sequence state stays uniqueness-consistent."""
+        from repro.chaos import ChaosEngine, Isolate, Schedule, At
+
+        dep = make_deployment()
+        dep.write(Value.of_size(64, label="pre"), 0)
+        cfg = dep.make_configuration(dap="abd", fresh_servers=3)
+        engine = ChaosEngine(dep.network, seed="partitioned-target")
+        engine.inject(Schedule([
+            At(dep.sim.now, Isolate(*[pid.name for pid in cfg.servers]))]))
+        handle = dep.spawn_reconfig(cfg, 0)
+        dep.run()
+        assert not handle.done()
+        assert handle.exception() is None
+        # Completed operations remain linearizable.
+        result = check_linearizability(dep.history)
+        assert result.ok, result.reason
+        # Configuration Uniqueness holds on every server's nextC state.
+        initial_id = dep.initial_configuration.cfg_id
+        successors = {server.next_config[initial_id].config.cfg_id
+                      for server in dep.servers.values()
+                      if server.next_config.get(initial_id) is not None}
+        assert successors <= {cfg.cfg_id}
+
+    @pytest.mark.parametrize("delay", [0.5, 2.0, 6.0])
+    def test_finalize_racing_a_concurrent_proposal(self, delay):
+        """Reconfigurer B proposes while A is mid-flight (between phases,
+        depending on ``delay``): whatever the interleaving, both terminate,
+        per-index uniqueness holds, both proposals are installed somewhere,
+        and subsequent traffic linearizes."""
+        dep = make_deployment(seed=11)
+        cfg_a = dep.make_configuration(dap="treas", fresh_servers=5, k=4)
+        cfg_b = dep.make_configuration(dap="abd", fresh_servers=3)
+        handle_a = dep.spawn_reconfig(cfg_a, 0)
+        handles = [handle_a]
+        dep.sim.schedule_at(delay, lambda: handles.append(dep.spawn_reconfig(cfg_b, 1)),
+                            label="late-proposal")
+        dep.run()
+        assert len(handles) == 2
+        assert all(h.done() and h.exception() is None for h in handles)
+        seq_a = dep.reconfigurers[0].cseq
+        seq_b = dep.reconfigurers[1].cseq
+        for index in range(1, min(seq_a.nu, seq_b.nu) + 1):
+            assert seq_a[index].config.cfg_id == seq_b[index].config.cfg_id
+        installed = {seq_b[i].config.cfg_id for i in range(len(seq_b))}
+        installed |= {seq_a[i].config.cfg_id for i in range(len(seq_a))}
+        # Each reconfig returns the configuration decided at its index: the
+        # loser of a contended round adopts the winner's proposal (its own
+        # is dropped -- at most one configuration per index), so at least
+        # one of the two proposals is installed and every returned decision
+        # appears in the sequences.
+        decisions = {h.result().cfg_id for h in handles}
+        assert decisions & {cfg_a.cfg_id, cfg_b.cfg_id}
+        assert decisions <= installed
+        dep.write(Value.of_size(64, label="after-race"), 0)
+        assert dep.read(0).label == "after-race"
+        result = check_linearizability(dep.history)
+        assert result.ok, result.reason
+
+    def test_contending_proposals_install_at_most_one_config_per_index(self):
+        """The loser of the consensus round adopts the decided configuration
+        and its own proposal is dropped from that index -- the decided
+        record is what every server's nextC holds."""
+        dep = make_deployment(seed=3)
+        cfg_a = dep.make_configuration(dap="treas", fresh_servers=5, k=4)
+        cfg_b = dep.make_configuration(dap="abd", fresh_servers=3)
+        handle_a = dep.spawn_reconfig(cfg_a, 0)
+        handle_b = dep.spawn_reconfig(cfg_b, 1)
+        dep.run()
+        assert handle_a.exception() is None and handle_b.exception() is None
+        initial_id = dep.initial_configuration.cfg_id
+        successors = {server.next_config[initial_id].config.cfg_id
+                      for server in dep.servers.values()
+                      if server.next_config.get(initial_id) is not None}
+        assert len(successors) == 1
+
+
 class TestServerSideState:
     def test_next_config_is_write_once_finalized(self):
         dep = make_deployment()

@@ -114,6 +114,25 @@ class TestReadme:
                     "docs/PERFORMANCE.md"):
             assert doc in readme, f"README does not link {doc}"
 
+    def test_readme_reconfig_quickstart_executes(self, capsys):
+        """The live-reconfiguration snippet is real code: run it verbatim.
+
+        Extracts the fenced Python block under the "Live reconfiguration &
+        rebalancing" heading and executes it; the snippet's own assert
+        checks the data survived the migration chain and the final print
+        reports the epoch the prose promises.
+        """
+        import re
+
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "### Live reconfiguration & rebalancing" in readme
+        section = readme.split("### Live reconfiguration & rebalancing")[1]
+        section = section.split("\n## ")[0]
+        match = re.search(r"```python\n(.*?)```", section, re.S)
+        assert match, "reconfig quickstart has no python code block"
+        exec(compile(match.group(1), "README:reconfig-quickstart", "exec"), {})
+        assert capsys.readouterr().out.strip() == "2"
+
     def test_readme_sweep_example_matches_cli_flags(self):
         """The documented sweep invocation must use real CLI flags."""
         import re

@@ -1,0 +1,269 @@
+"""Scale benchmark: 10^6 keyed operations under chaos, verified online.
+
+Drives one million operations (``--quick``: one hundred thousand) through a
+three-shard ABD store -- duplication, reordering and two tolerated server
+crashes running in the background -- with the history in **streaming** mode:
+completed operations are checked online per key and folded away, so memory
+stays O(open window) no matter how long the run is.  The committed baseline
+``BENCH_SCALE.json`` records throughput and peak RSS; ``--check`` gates CI
+against it:
+
+* calibrated throughput must stay above ``REGRESSION_TOLERANCE`` (the same
+  >30% regression gate, probe-scaled across hosts, as ``perf_report.py``);
+* peak RSS may exceed the baseline by at most ``RSS_DELTA_LIMIT_MB`` -- a
+  quick run is 10x smaller than the committed full run, so this is exactly
+  the streaming claim: memory must not scale with history length;
+* a small streaming-vs-batch sub-run must agree on verdict and signature
+  hash byte-for-byte.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py            # regenerate
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick    # CI-sized run
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick --check
+        # measure, compare against the committed BENCH_SCALE.json and exit
+        # non-zero on regression (the baseline file is left untouched)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import resource
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from perf_report import REGRESSION_TOLERANCE, calibration_probe  # noqa: E402
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_SCALE.json"
+
+#: Total operations of the full / quick scale run.
+SCALE_OPS = 1_000_000
+QUICK_OPS = 100_000
+
+#: Operations of the streaming-vs-batch equivalence sub-run.
+EQUIVALENCE_OPS = 8_000
+
+#: Peak RSS may exceed the committed baseline by at most this many MB.
+RSS_DELTA_LIMIT_MB = 50.0
+
+#: Simulated time one closed-loop client step takes on the bench store
+#: (measured; only used to aim the background-chaos window at ~3/4 of the
+#: run, so overestimating merely shortens chaos coverage a little).
+SIM_TIME_PER_STEP = 18.0
+
+#: Each client step is one batched multi_put/multi_get over this many keys.
+BATCH_SIZE = 2
+
+#: writers + readers driving the store.
+CLIENTS = 8
+
+
+def peak_rss_mb() -> float:
+    """Lifetime peak resident set size of this process, in MB."""
+    # ru_maxrss is KB on Linux, bytes on macOS.
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return peak / 1024.0
+
+
+def scale_scenario(total_ops: int):
+    """The bench scenario: 3x ABD-5 store, 4 writers + 4 readers, chaos.
+
+    Built directly (not registered) so the registry keeps only the curated
+    scenarios; every parameter derives from ``total_ops`` alone, making the
+    run a pure function of (total_ops, seed).
+    """
+    from repro.chaos.faults import Crash, Duplicate, Reorder
+    from repro.chaos.schedule import At, During, Schedule
+    from repro.net.latency import UniformLatency
+    from repro.store import ShardSpec, StoreDeployment, StoreSpec
+    from repro.workloads.generator import WorkloadSpec
+    from repro.workloads.scenarios import ChaosScenario
+
+    steps_per_client = total_ops // (CLIENTS * BATCH_SIZE)
+    horizon = steps_per_client * SIM_TIME_PER_STEP * 0.75
+    return ChaosScenario(
+        name=f"bench_scale_store_{total_ops}",
+        description=("three ABD-5 shards, duplication + reordering + two "
+                     "tolerated crashes, closed-loop keyed traffic"),
+        dap="store", faults=("crash", "duplicate", "reorder"),
+        deployment=lambda seed: StoreDeployment(StoreSpec(
+            shards=(ShardSpec(dap="abd", num_servers=5),
+                    ShardSpec(dap="abd", num_servers=5),
+                    ShardSpec(dap="abd", num_servers=5)),
+            num_writers=CLIENTS // 2, num_readers=CLIENTS // 2,
+            latency=UniformLatency(1.0, 2.0), seed=seed)),
+        # s3 is in shard 0, s8 in shard 1; ABD-5 tolerates two lost servers,
+        # so both shards keep quorums and the run must stay live.
+        schedule=lambda d: Schedule([
+            During(50.0, horizon, Duplicate(0.05), Reorder(0.5)),
+            At(200.0, Crash("s3")),
+            At(round(horizon / 2), Crash("s8")),
+        ]),
+        workload=WorkloadSpec(
+            operations_per_writer=steps_per_client,
+            operations_per_reader=steps_per_client,
+            value_size=64, think_time=0.0, num_keys=256,
+            batch_size=BATCH_SIZE,
+            # ~50 simulator events per operation; 120/op leaves headroom
+            # while still catching a genuine livelock.
+            max_events=max(10_000_000, total_ops * 120)),
+    )
+
+
+def run_scale(total_ops: int, seed: int = 0) -> dict:
+    """One streaming scale run; raises if verification fails."""
+    from repro.workloads.scenarios import run_scenario_instance
+
+    scenario = scale_scenario(total_ops)
+    start = time.perf_counter()
+    result = run_scenario_instance(scenario, seed=seed, streaming=True)
+    failure, checker_method = result.check()
+    wall = time.perf_counter() - start
+    if failure is not None:
+        raise AssertionError(f"scale run failed verification: {failure}")
+    stream = result.history.stream
+    ops = stream.completed_operations
+    return {
+        "scenario": scenario.description,
+        "total_ops": ops,
+        "wall_clock_sec": round(wall, 2),
+        "ops_per_sec": round(ops / wall),
+        "events": result.deployment.sim.events_processed,
+        "messages": result.deployment.network.messages_sent,
+        "checker_method": checker_method,
+        "open_window_peak": stream.open_window_peak,
+        "folded_records": stream.folded_records,
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        "signature_hash": result.signature_hash(),
+    }
+
+
+def equivalence_check(total_ops: int = EQUIVALENCE_OPS) -> dict:
+    """Streaming and batch must agree on verdict and signature bytes."""
+    from repro.workloads.scenarios import run_scenario_instance
+
+    scenario = scale_scenario(total_ops)
+    streaming = run_scenario_instance(scenario, seed=0, streaming=True)
+    s_failure, s_method = streaming.check()
+    s_hash = streaming.signature_hash()
+    batch = run_scenario_instance(scenario, seed=0)
+    b_failure, b_method = batch.check()
+    b_hash = batch.signature_hash()
+    if s_failure != b_failure or s_hash != b_hash:
+        raise AssertionError(
+            f"streaming/batch divergence at {total_ops} ops: "
+            f"verdicts {s_failure!r} vs {b_failure!r}, "
+            f"hashes {s_hash[:16]} vs {b_hash[:16]}")
+    return {
+        "total_ops": total_ops,
+        "verdict": s_failure,
+        "methods": [s_method, b_method],
+        "signature_hash": s_hash,
+        "agree": True,
+    }
+
+
+def build_report(quick: bool) -> dict:
+    # The tiny equivalence sub-run goes first so the scale run dominates
+    # the process's lifetime peak RSS.
+    equivalence = equivalence_check()
+    report = {
+        "schema": 1,
+        "generated_by": "benchmarks/bench_scale.py",
+        "quick": quick,
+        "python": platform.python_version(),
+        "calibration_ops_per_sec": round(calibration_probe()),
+        "equivalence": equivalence,
+        "scale": run_scale(QUICK_OPS if quick else SCALE_OPS),
+    }
+    return report
+
+
+def check_regression(report: dict, baseline: dict) -> int:
+    """Gate throughput, memory and determinism against the baseline."""
+    failures = 0
+    base = baseline["scale"]
+    scale = report["scale"]
+
+    base_probe = baseline.get("calibration_ops_per_sec") or 0
+    probe = report["calibration_ops_per_sec"]
+    host_scale = probe / base_probe if base_probe else 1.0
+    expected = base["ops_per_sec"] * host_scale
+    ratio = scale["ops_per_sec"] / expected
+    print(f"baseline ops/sec:   {base['ops_per_sec']:>10,} at "
+          f"{base['total_ops']:,} ops (probe {base_probe:,.0f}/s)")
+    print(f"this host's probe:  {probe:>10,.0f}/s (scale x{host_scale:.2f})")
+    print(f"measured ops/sec:   {scale['ops_per_sec']:>10,} at "
+          f"{scale['total_ops']:,} ops ({ratio:.0%} of calibrated expected)")
+    if ratio < REGRESSION_TOLERANCE:
+        print(f"THROUGHPUT REGRESSION: below the {REGRESSION_TOLERANCE:.0%} "
+              "floor")
+        failures += 1
+
+    delta = scale["peak_rss_mb"] - base["peak_rss_mb"]
+    print(f"peak RSS:           {scale['peak_rss_mb']:>10.1f} MB "
+          f"(baseline {base['peak_rss_mb']:.1f} MB, delta {delta:+.1f} MB, "
+          f"limit +{RSS_DELTA_LIMIT_MB:.0f} MB)")
+    if delta > RSS_DELTA_LIMIT_MB:
+        print("MEMORY REGRESSION: streaming verification must keep RSS flat "
+              "regardless of run length")
+        failures += 1
+
+    if scale["total_ops"] == base["total_ops"] \
+            and scale["signature_hash"] != base["signature_hash"]:
+        print(f"DETERMINISM REGRESSION: signature "
+              f"{scale['signature_hash'][:16]}... != baseline "
+              f"{base['signature_hash'][:16]}...")
+        failures += 1
+
+    if failures == 0:
+        print("OK: within tolerance")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help=f"CI-sized run ({QUICK_OPS:,} operations instead "
+                             f"of {SCALE_OPS:,})")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed BENCH_SCALE.json "
+                             "and exit non-zero on throughput/memory/"
+                             "determinism regression (the committed baseline "
+                             "is never rewritten in this mode)")
+    parser.add_argument("--output", default=None,
+                        help="where to write the report (default: the "
+                             "repo-root BENCH_SCALE.json, unless --check is "
+                             "given)")
+    args = parser.parse_args(argv)
+
+    report = build_report(quick=args.quick)
+
+    out = None
+    if args.output is not None:
+        out = pathlib.Path(args.output)
+    elif not args.check:
+        out = BASELINE_PATH
+    if out is not None:
+        out.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"wrote {out}")
+    print(json.dumps(report["scale"], indent=1))
+
+    if args.check:
+        if not BASELINE_PATH.exists():
+            print(f"no committed baseline at {BASELINE_PATH}; nothing to check")
+            return 1
+        baseline = json.loads(BASELINE_PATH.read_text())
+        return check_regression(report, baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

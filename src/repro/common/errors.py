@@ -20,6 +20,38 @@ class SimulationError(ReproError):
     """
 
 
+class StreamingHistoryError(ReproError):
+    """A streaming history was used outside its contract.
+
+    Streaming mode folds verified operations away as their concurrency
+    windows close, so APIs that need the full record set
+    (``operations()``, ``signature()``, ``split_by_key()``, ...) are
+    unavailable, recording must happen in non-decreasing event-time order,
+    and no further records may be added after ``finalize()``.
+    """
+
+
+class StreamingWindowError(StreamingHistoryError):
+    """The open concurrency window exceeded the configured bound.
+
+    Streaming histories promise O(open window) memory; an operation that
+    never responds keeps the fold frontier pinned, so the window would grow
+    without bound.  Raised by :meth:`repro.spec.history.History.invoke` when
+    the number of unfolded records passes ``window_limit``.
+    """
+
+
+class StreamingAmbiguityError(StreamingHistoryError):
+    """The online checker cannot decide the history without full records.
+
+    The online checker is the streaming variant of the *fast* register
+    checker; histories the fast checker hands to the Wing-Gong reference
+    search (duplicate value labels, no greedy witness order) need the full
+    record set, which streaming mode has already discarded.  Re-run the
+    scenario in batch mode to obtain a verdict.
+    """
+
+
 class QuorumUnavailableError(ReproError):
     """Not enough live servers remain to assemble the required quorum.
 

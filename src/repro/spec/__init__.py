@@ -24,11 +24,23 @@ from repro.spec.linearizability import (
     check_tag_monotonicity_per_key,
 )
 from repro.spec.properties import DapRecorder, check_dap_properties, DapPropertyViolation
+from repro.spec.signature import SignatureAccumulator
+from repro.spec.streaming import (
+    HistoryStream,
+    OnlineRegisterChecker,
+    OnlineTagChecker,
+    StreamingStats,
+)
 
 __all__ = [
     "History",
     "OperationRecord",
     "OperationType",
+    "HistoryStream",
+    "OnlineRegisterChecker",
+    "OnlineTagChecker",
+    "SignatureAccumulator",
+    "StreamingStats",
     "check_linearizability",
     "check_linearizability_per_key",
     "check_tag_monotonicity",

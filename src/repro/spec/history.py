@@ -15,17 +15,36 @@ history is checked per key (every key is an independent atomic register, see
 :meth:`History.signature` stays a single merged, store-wide fingerprint.
 Use :meth:`History.split_by_key` / :meth:`History.for_key` to obtain the
 per-key sub-histories.
+
+Streaming histories
+-------------------
+:meth:`History.enable_streaming` switches an (empty) history into a bounded
+open-window mode: completed operations are fed to the online
+linearizability / tag-monotonicity checkers in
+:mod:`repro.spec.streaming` as their concurrency windows close, the
+verified prefix is folded into a running signature accumulator
+(byte-identical to the batch :meth:`signature_hash`), and the folded
+records are discarded.  Memory stays O(open window) instead of O(run),
+which is what lets the scale benchmarks push 10^6+ operations through the
+store.  Full-history queries (``operations()``, ``signature()``,
+``split_by_key()``, ...) raise
+:class:`~repro.common.errors.StreamingHistoryError` in streaming mode.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.common.errors import StreamingHistoryError
 from repro.common.ids import ProcessId
 from repro.common.tags import Tag
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.spec.streaming import HistoryStream
 
 
 class OperationType(enum.Enum):
@@ -36,9 +55,15 @@ class OperationType(enum.Enum):
     RECONFIG = "reconfig"
 
 
-@dataclass
+@dataclass(slots=True)
 class OperationRecord:
-    """One high-level operation with its real-time interval and outcome."""
+    """One high-level operation with its real-time interval and outcome.
+
+    ``slots=True`` matters: streaming scale runs allocate one record per
+    operation (10^6+ per benchmark run), and the per-instance ``__dict__``
+    of an ordinary dataclass roughly doubles the allocation cost and
+    footprint of the open window.
+    """
 
     op_id: int
     process: ProcessId
@@ -81,12 +106,74 @@ class OperationRecord:
         return f"{self.op_type.value}({where}{self.value_label}) by {self.process} {interval}"
 
 
+def signature_entry(record: OperationRecord) -> tuple:
+    """The signature tuple of one record.
+
+    Shared by the batch :meth:`History.signature`, the non-materializing
+    :meth:`History.signature_hash` and the streaming fold in
+    :mod:`repro.spec.streaming`, so all three agree byte-for-byte on the
+    fingerprint.  Key-less records keep the exact historical 8-tuple shape;
+    keyed records append the object key.
+    """
+    entry = (record.op_id, record.process.name, record.op_type.value,
+             record.invoked_at, record.responded_at, record.value_label,
+             None if record.tag is None else str(record.tag), record.failed)
+    if record.key is not None:
+        entry += (record.key,)
+    return entry
+
+
 class History:
     """A mutable collection of :class:`OperationRecord` entries."""
 
     def __init__(self) -> None:
         self._records: Dict[int, OperationRecord] = {}
         self._counter = itertools.count()
+        self._stream: Optional["HistoryStream"] = None
+
+    # ------------------------------------------------------------- streaming
+    @property
+    def streaming(self) -> bool:
+        """Whether this history folds records away as windows close."""
+        return self._stream is not None
+
+    @property
+    def stream(self) -> Optional["HistoryStream"]:
+        """The attached :class:`~repro.spec.streaming.HistoryStream`."""
+        return self._stream
+
+    def enable_streaming(self, window_limit: Optional[int] = None,
+                         initial_label: Optional[str] = None,
+                         latency_reservoir: Optional[int] = None,
+                         ) -> "HistoryStream":
+        """Switch this (empty) history into bounded open-window mode.
+
+        Must be called before any operation is recorded: the stream folds
+        records in event order, so a partially-recorded history cannot be
+        converted retroactively.  Returns the attached stream (also
+        available as :attr:`stream`).
+        """
+        from repro.spec.streaming import HistoryStream
+
+        if self._records or self._stream is not None:
+            raise StreamingHistoryError(
+                "enable_streaming() requires an empty, non-streaming history")
+        kwargs = {}
+        if window_limit is not None:
+            kwargs["window_limit"] = window_limit
+        if initial_label is not None:
+            kwargs["initial_label"] = initial_label
+        if latency_reservoir is not None:
+            kwargs["latency_reservoir"] = latency_reservoir
+        self._stream = HistoryStream(self, **kwargs)
+        return self._stream
+
+    def _batch_only(self, api: str) -> None:
+        if self._stream is not None:
+            raise StreamingHistoryError(
+                f"History.{api} needs the full record set, which streaming "
+                "mode folds away; use the attached HistoryStream (counters, "
+                "signature_hash, verdicts) or re-run in batch mode")
 
     # ------------------------------------------------------------- recording
     def invoke(
@@ -107,6 +194,8 @@ class History:
             key=key,
         )
         self._records[record.op_id] = record
+        if self._stream is not None:
+            self._stream.on_invoke(record)
         return record
 
     def respond(
@@ -125,18 +214,23 @@ class History:
             record.tag = tag
         if config_id is not None:
             record.config_id = config_id
+        if self._stream is not None:
+            self._stream.on_respond(record)
         return record
 
     def fail(self, record: OperationRecord, at: float) -> OperationRecord:
         """Mark an operation as failed (e.g. its client crashed)."""
         record.responded_at = at
         record.failed = True
+        if self._stream is not None:
+            self._stream.on_fail(record)
         return record
 
     # --------------------------------------------------------------- queries
     def operations(self, op_type: Optional[OperationType] = None,
                    complete_only: bool = False) -> List[OperationRecord]:
         """All records, optionally filtered by type and completeness."""
+        self._batch_only("operations()")
         records = list(self._records.values())
         if op_type is not None:
             records = [r for r in records if r.op_type is op_type]
@@ -167,6 +261,8 @@ class History:
         Keyed histories (recorded by the sharded store) are verified per key;
         single-register histories keep the historical whole-history checks.
         """
+        if self._stream is not None:
+            return self._stream.is_keyed()
         return any(
             r.key is not None
             for r in self._records.values()
@@ -187,6 +283,7 @@ class History:
 
     def for_key(self, key: Optional[str]) -> "History":
         """The sub-history of operations on ``key`` (records are shared)."""
+        self._batch_only("for_key()")
         sub = History()
         for record in self._records.values():
             if record.key == key:
@@ -208,6 +305,8 @@ class History:
         return subs
 
     def __len__(self) -> int:
+        if self._stream is not None:
+            return self._stream.total_records
         return len(self._records)
 
     def __iter__(self):
@@ -229,13 +328,31 @@ class History:
         signature: the object key is appended to each keyed record's entry.
         Key-less records keep the exact historical tuple shape, so the
         golden signature hashes of single-register scenarios are unaffected.
+
+        Streaming histories cannot materialize this tuple (the records are
+        gone); use :meth:`signature_hash`, which is byte-identical to
+        ``sha256(repr(signature()))`` in both modes.
         """
-        entries = []
+        self._batch_only("signature()")
+        return tuple(signature_entry(record) for record in self.operations())
+
+    def signature_hash(self) -> str:
+        """SHA-256 of ``repr(self.signature())`` without materializing it.
+
+        The batch path streams each record's entry repr through the hash --
+        the full entries list (10^6 tuples on a scale run) is never built.
+        The streaming path finalizes the stream and returns the fold
+        accumulator's digest, which is byte-identical by construction.
+        """
+        if self._stream is not None:
+            self._stream.finalize()
+            return self._stream.signature_hash()
+        digest = hashlib.sha256(b"(")
+        count = 0
         for record in self.operations():
-            entry = (record.op_id, record.process.name, record.op_type.value,
-                     record.invoked_at, record.responded_at, record.value_label,
-                     None if record.tag is None else str(record.tag), record.failed)
-            if record.key is not None:
-                entry += (record.key,)
-            entries.append(entry)
-        return tuple(entries)
+            if count:
+                digest.update(b", ")
+            digest.update(repr(signature_entry(record)).encode())
+            count += 1
+        digest.update(b",)" if count == 1 else b")")
+        return digest.hexdigest()

@@ -1,0 +1,62 @@
+"""Incremental signature hashing for streaming histories.
+
+The batch fingerprint of a run is ``sha256(repr(signature()))`` where the
+history signature is a tuple of per-record entry tuples and the run-level
+signature is ``(history_signature, tuple(chaos_log))``.  Streaming mode
+discards records as they fold, so this module reproduces those digests
+incrementally, byte-for-byte, by feeding each entry's ``repr`` through two
+SHA-256 states:
+
+* ``history`` digest -- seeded with ``b"("`` (the history tuple opens);
+* ``result`` digest -- seeded with ``b"(("`` (the outer 2-tuple opens,
+  then the history tuple opens).
+
+Python's tuple ``repr`` separates elements with ``", "`` and closes with
+``")"`` -- except the empty tuple (``()``) and the 1-tuple (trailing
+comma: ``(e,)``), which :meth:`SignatureAccumulator._closing` handles.
+The byte-identity of both digests against the materialized ``repr`` is
+pinned by the differential tests and the golden scenario hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class SignatureAccumulator:
+    """Folds signature entries into running history/result digests."""
+
+    __slots__ = ("_history", "_result", "count")
+
+    def __init__(self) -> None:
+        self._history = hashlib.sha256(b"(")
+        self._result = hashlib.sha256(b"((")
+        self.count = 0
+
+    def fold(self, entry: tuple) -> None:
+        """Append one record's signature entry to both digests."""
+        chunk = repr(entry)
+        data = (", " + chunk).encode() if self.count else chunk.encode()
+        self._history.update(data)
+        self._result.update(data)
+        self.count += 1
+
+    def _closing(self) -> bytes:
+        if self.count == 0:
+            return b")"
+        if self.count == 1:
+            return b",)"
+        return b")"
+
+    def history_digest(self) -> str:
+        """Hex digest equal to ``sha256(repr(history.signature()))``."""
+        digest = self._history.copy()
+        digest.update(self._closing())
+        return digest.hexdigest()
+
+    def result_digest(self, chaos_log) -> str:
+        """Hex digest equal to ``sha256(repr((signature(), tuple(log))))``."""
+        digest = self._result.copy()
+        digest.update(self._closing())
+        digest.update((", " + repr(tuple(chaos_log)) + ")").encode())
+        return digest.hexdigest()

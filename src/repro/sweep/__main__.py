@@ -66,6 +66,10 @@ def main(argv=None) -> int:
     parser.add_argument("--check-serial", action="store_true",
                         help="re-run the grid serially and fail unless every "
                              "cell's history signature matches the pooled run")
+    parser.add_argument("--streaming", action="store_true",
+                        help="verify each cell online with a bounded open "
+                             "window (O(open window) worker memory; cell "
+                             "hashes stay byte-identical to batch mode)")
     parser.add_argument("--list", action="store_true",
                         help="list registered scenarios and exit")
     parser.add_argument("--quiet", action="store_true",
@@ -87,7 +91,8 @@ def main(argv=None) -> int:
           f"{' x params' if grid.params else ''}), jobs={jobs}")
 
     progress = None if args.quiet else _print_progress
-    result = campaign(grid, jobs=jobs, progress=progress)
+    result = campaign(grid, jobs=jobs, progress=progress,
+                      streaming=args.streaming)
 
     print()
     print(result.render_matrix())
@@ -102,6 +107,9 @@ def main(argv=None) -> int:
 
     report = result.to_json()
     if args.check_serial:
+        # The serial leg always runs in batch mode: with --streaming the
+        # gate therefore checks streaming-pooled against batch-serial, i.e.
+        # both the pool layout AND the streaming fold are byte-identical.
         print("\nre-running serially for the signature gate...")
         serial = campaign(grid, jobs=1)
         mismatches = _compare_signatures(result, serial)

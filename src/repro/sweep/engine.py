@@ -16,7 +16,7 @@ CI gates on exactly that.
 
 from __future__ import annotations
 
-import hashlib
+import functools
 import multiprocessing
 import time
 import traceback
@@ -42,16 +42,21 @@ def default_jobs() -> int:
     return max(1, min(8, usable_cores()))
 
 
-def execute_run(spec: RunSpec) -> RunRecord:
+def execute_run(spec: RunSpec, streaming: bool = False) -> RunRecord:
     """Run and verify one sweep cell; always returns a record, never raises.
 
     Verification is :meth:`ChaosRunResult.check` -- the same single source
     of truth ``verify()`` raises on -- recorded as the cell's failure text
     plus which checker algorithm decided.
+
+    ``streaming=True`` runs the cell's history in bounded open-window mode:
+    verification happens online, the worker never holds the full history,
+    and the recorded ``signature_hash`` is byte-identical to the batch one
+    (the ``--check-serial`` gate holds across modes, not just across pool
+    layouts).
     """
     # Imported here so a spawn-start worker pays the import in its own
     # process and the module stays import-light for the CLI --list path.
-    from repro.spec.history import OperationType
     from repro.sweep.grid import SCENARIO_PARAM_FIELDS
     from repro.workloads.scenarios import get_scenario, run_scenario_instance
 
@@ -82,22 +87,24 @@ def execute_run(spec: RunSpec) -> RunRecord:
                         f"grid axis {', '.join(inert)} has no effect: "
                         f"scenario {spec.scenario!r} runs 0 reconfigurations;"
                         f" add a num_reconfigs axis")
-        result = run_scenario_instance(scenario, seed=spec.seed)
+        result = run_scenario_instance(scenario, seed=spec.seed,
+                                       streaming=streaming)
 
-        signature_hash = hashlib.sha256(
-            repr(result.signature()).encode()).hexdigest()
         failure, checker_method = result.check()
-        history = result.history
+        signature_hash = result.signature_hash()
+        # Latency summaries come from the WorkloadResult (full lists in
+        # batch mode, deterministic reservoir samples in streaming mode),
+        # so the record never needs the folded history.
         return RunRecord(
             scenario=spec.scenario, seed=spec.seed, params=spec.params,
             ok=failure is None, failure=failure, signature_hash=signature_hash,
             wall_clock_sec=time.perf_counter() - start,
-            history_ops=len(history),
+            history_ops=len(result.history),
             events=result.deployment.sim.events_processed,
             messages=result.deployment.network.messages_sent,
             checker_method=checker_method,
-            read_latency=latency_summary(history.latencies(OperationType.READ)),
-            write_latency=latency_summary(history.latencies(OperationType.WRITE)),
+            read_latency=latency_summary(result.workload.read_latencies),
+            write_latency=latency_summary(result.workload.write_latencies),
         )
     except Exception:
         # One broken cell (unknown scenario, crashed run, checker error) must
@@ -117,7 +124,8 @@ def _pool_context():
 
 
 def campaign(grid: SweepGrid, jobs: int = 1,
-             progress: Optional[Callable[[RunRecord], None]] = None) -> SweepResult:
+             progress: Optional[Callable[[RunRecord], None]] = None,
+             streaming: bool = False) -> SweepResult:
     """Execute every cell of ``grid`` and aggregate into a :class:`SweepResult`.
 
     ``jobs=1`` runs serially in-process (no pool, no pickling); ``jobs>1``
@@ -125,17 +133,22 @@ def campaign(grid: SweepGrid, jobs: int = 1,
     (cells are seconds-long, so dynamic scheduling beats pre-chunking).
     Records come back in grid-expansion order either way, so the aggregate
     report is deterministic regardless of completion order.
+
+    ``streaming=True`` makes every worker verify its cell online with a
+    bounded open window (see :func:`execute_run`); cell hashes stay
+    byte-identical to batch-mode runs of the same grid.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     specs = grid.expand()
+    run_cell = functools.partial(execute_run, streaming=streaming)
     start = time.perf_counter()
     # jobs > 1 always goes through a real pool -- even for one cell -- so a
     # --check-serial gate genuinely compares pooled against serial execution.
     if jobs == 1:
         records = []
         for spec in specs:
-            record = execute_run(spec)
+            record = run_cell(spec)
             if progress is not None:
                 progress(record)
             records.append(record)
@@ -145,7 +158,7 @@ def campaign(grid: SweepGrid, jobs: int = 1,
             # imap keeps submission order while letting the caller see each
             # record as soon as its worker finishes.
             records = []
-            for record in pool.imap(execute_run, specs, chunksize=1):
+            for record in pool.imap(run_cell, specs, chunksize=1):
                 if progress is not None:
                     progress(record)
                 records.append(record)

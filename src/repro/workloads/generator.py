@@ -139,6 +139,10 @@ class WorkloadSpec:
         When ``> 1`` on a keyed workload, each session step issues one
         pipelined ``multi_put``/``multi_get`` over this many distinct keys
         instead of a single-key operation.
+    max_events:
+        Simulator event budget for the run (``None`` = the simulator's
+        default livelock guard).  Scale benchmarks pushing 10^6+ operations
+        need ~50 events per operation, well past the default cap.
     """
 
     operations_per_writer: int = 5
@@ -150,6 +154,7 @@ class WorkloadSpec:
     key_distribution: str = "uniform"
     zipf_s: float = 1.2
     batch_size: int = 1
+    max_events: Optional[int] = None
 
 
 @dataclass
@@ -244,7 +249,10 @@ class ClosedLoopDriver:
         for reader in self.deployment.readers:
             sessions.append(reader.spawn(
                 self._reader_session(reader), label=f"{reader.pid}:session"))
-        self.sim.run()
+        if self.spec.max_events is not None:
+            self.sim.run(max_events=self.spec.max_events)
+        else:
+            self.sim.run()
         errors = [repr(s.exception()) for s in sessions if s.exception() is not None]
         # A drained event queue with an unfinished session means the workload
         # cannot make progress (e.g. a fault schedule cut a client off from
@@ -252,6 +260,18 @@ class ClosedLoopDriver:
         errors.extend(f"session {s.label!r} never completed (stalled)"
                       for s in sessions if not s.done())
         history: History = self.deployment.history
+        stream = history.stream
+        if stream is not None:
+            # Streaming histories fold records away; the stream keeps exact
+            # counts and bounded latency reservoirs, so the result never
+            # materializes O(run) latency lists.
+            return WorkloadResult(
+                total_operations=stream.completed_operations,
+                read_latencies=stream.read_latencies.sample(),
+                write_latencies=stream.write_latencies.sample(),
+                duration=self.sim.now - start_time,
+                errors=errors,
+            )
         result = WorkloadResult(
             total_operations=len(history.operations(complete_only=True)),
             read_latencies=history.latencies(OperationType.READ),

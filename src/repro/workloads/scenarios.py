@@ -188,6 +188,23 @@ class ChaosRunResult:
         """Determinism witness: history fingerprint + chaos log."""
         return (self.history.signature(), tuple(self.engine.log))
 
+    def signature_hash(self) -> str:
+        """SHA-256 hex digest of ``repr(self.signature())``.
+
+        Works in both modes and produces identical bytes: the batch path
+        streams the repr through the hash without materializing the entries
+        list, the streaming path reads the fold accumulator (finalizing the
+        stream).  This is what the sweep engine and the golden determinism
+        fixtures store.
+        """
+        stream = self.history.stream
+        if stream is not None:
+            stream.finalize()
+            return stream.result_signature_hash(self.engine.log)
+        import hashlib
+
+        return hashlib.sha256(repr(self.signature()).encode()).hexdigest()
+
     def check(self) -> Tuple[Optional[str], str]:
         """Run every property check without raising.
 
@@ -213,6 +230,20 @@ class ChaosRunResult:
             return (f"scenario {self.scenario.name!r} (seed {self.seed}) lost "
                     f"liveness: {errors}\nchaos log:\n"
                     f"{self.engine.describe_log()}"), ""
+        stream = self.history.stream
+        if stream is not None:
+            stream.finalize()
+            method = stream.method()
+            lin_failure = stream.linearizability_failure()
+            if lin_failure is not None:
+                return (f"scenario {self.scenario.name!r} (seed {self.seed}) "
+                        f"violated atomicity: {lin_failure}\nchaos log:\n"
+                        f"{self.engine.describe_log()}"), method
+            tag_violation = stream.tag_failure()
+            if tag_violation is not None:
+                return (f"scenario {self.scenario.name!r} (seed {self.seed}) "
+                        f"violated tag monotonicity: {tag_violation}"), method
+            return None, method
         keyed = self.history.is_keyed()
         if keyed:
             result = check_linearizability_per_key(self.history)
@@ -267,7 +298,9 @@ def get_scenario(name: str) -> ChaosScenario:
         ) from None
 
 
-def run_scenario(name: str, seed: int = 0, profile: bool = False) -> ChaosRunResult:
+def run_scenario(name: str, seed: int = 0, profile: bool = False,
+                 streaming: bool = False,
+                 window_limit: Optional[int] = None) -> ChaosRunResult:
     """Execute one registered scenario end-to-end, deterministically.
 
     The run seed fans out into three independent streams -- simulator
@@ -279,22 +312,35 @@ def run_scenario(name: str, seed: int = 0, profile: bool = False) -> ChaosRunRes
     a cumulative-time summary is printed and kept on the result's
     :attr:`~ChaosRunResult.profile_summary`.  Profiling slows the run but
     does not perturb it (the execution stays byte-identical).
+
+    With ``streaming=True`` the deployment's history runs in bounded
+    open-window mode (see
+    :meth:`~repro.spec.history.History.enable_streaming`): operations are
+    verified online and folded away as their windows close, so memory stays
+    O(open window) -- the execution itself is byte-identical, which the
+    differential streaming tests pin via :meth:`ChaosRunResult.signature_hash`.
     """
-    return run_scenario_instance(get_scenario(name), seed=seed, profile=profile)
+    return run_scenario_instance(get_scenario(name), seed=seed, profile=profile,
+                                 streaming=streaming, window_limit=window_limit)
 
 
 def run_scenario_instance(scenario: ChaosScenario, seed: int = 0,
-                          profile: bool = False) -> ChaosRunResult:
+                          profile: bool = False, streaming: bool = False,
+                          window_limit: Optional[int] = None) -> ChaosRunResult:
     """Execute a :class:`ChaosScenario` object (registered or derived).
 
     This is :func:`run_scenario` minus the registry lookup; the sweep engine
     uses it to run parameter-grid variants (``dataclasses.replace`` of a
     registered scenario with an overridden workload).  All three RNG streams
     are keyed by ``scenario.name``, so for registered scenarios the two entry
-    points are byte-identical.
+    points are byte-identical.  ``streaming`` / ``window_limit`` switch the
+    fresh deployment's history into bounded open-window mode before any
+    operation is recorded.
     """
     name = scenario.name
     deployment = scenario.deployment(seed)
+    if streaming:
+        deployment.history.enable_streaming(window_limit=window_limit)
     # The deployment already seeded its simulator with the bare integer;
     # derive a distinct chaos seed so fault coin flips are not the same
     # Mersenne Twister stream as the latency draws.

@@ -133,6 +133,25 @@ class TestReadme:
         exec(compile(match.group(1), "README:reconfig-quickstart", "exec"), {})
         assert capsys.readouterr().out.strip() == "2"
 
+    def test_readme_streaming_quickstart_executes(self, capsys):
+        """The streaming-verification snippet is real code: run it verbatim.
+
+        Extracts the fenced Python block under the "Streaming verification
+        at scale" heading and executes it; the snippet's own asserts check
+        the verdict and that every record folded, and the final print
+        reports the checker method the prose promises.
+        """
+        import re
+
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "### Streaming verification at scale" in readme
+        section = readme.split("### Streaming verification at scale")[1]
+        section = section.split("\n## ")[0]
+        match = re.search(r"```python\n(.*?)```", section, re.S)
+        assert match, "streaming quickstart has no python code block"
+        exec(compile(match.group(1), "README:streaming-quickstart", "exec"), {})
+        assert capsys.readouterr().out.strip() == "per-key(streaming)"
+
     def test_readme_sweep_example_matches_cli_flags(self):
         """The documented sweep invocation must use real CLI flags."""
         import re
@@ -142,7 +161,7 @@ class TestReadme:
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
         flags = set(re.findall(r"--[a-z-]+", readme.split("## Scale-out sweeps")[1]
                                .split("## Tests")[0]))
-        known = {"--grid", "--jobs", "--check-serial", "--output", "--list",
-                 "--quiet"}
+        known = {"--grid", "--jobs", "--check-serial", "--streaming",
+                 "--output", "--list", "--quiet"}
         assert flags <= known, f"README documents unknown sweep flags: {flags - known}"
         assert {"--grid", "--jobs", "--check-serial"} <= flags

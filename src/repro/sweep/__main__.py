@@ -2,20 +2,35 @@
 
 Examples::
 
-    # the full registry, four seeds, four workers
+    # the full registry, four seeds, four workers, auto-sized batches
     python -m repro.sweep --grid "scenarios=all;seeds=0..3" --jobs 4
 
     # a parameter grid over two object sizes, written to a report file
     python -m repro.sweep --grid "scenarios=treas_*;seeds=0;value_size=256,4096" \
         --jobs 2 --output sweep.json
 
+    # a long campaign that survives interruption: journal every cell,
+    # resume skips the journaled ones
+    python -m repro.sweep --grid "scenarios=all;seeds=0..9" --jobs 4 \
+        --checkpoint sweep.ckpt
+    python -m repro.sweep --grid "scenarios=all;seeds=0..9" --jobs 4 \
+        --checkpoint sweep.ckpt --resume
+
     # CI determinism gate: pooled and serial execution must agree
-    # hash-for-hash on every cell
+    # hash-for-hash (a seed-deterministic sample of 8 cells by default;
+    # --check-serial=all re-runs the whole grid)
     python -m repro.sweep --grid "scenarios=abd_crash_minority;seeds=0..1" \
         --jobs 2 --check-serial
 
-Exit status: 0 when every cell passed (and, with ``--check-serial``, every
-signature matched); 1 otherwise.
+    # adaptive frontier search: bisect the event budget to the smallest
+    # value at which the scenario still completes and verifies
+    python -m repro.sweep --grid "scenarios=store_mixed_dap_storm;seeds=0..2" \
+        --bisect "max_events=500..60000" --output frontier.json
+
+Exit status: 0 when every cell passed (and every ``--check-serial``
+signature matched / every ``--bisect`` monotonicity probe agreed); 1 on
+failures; 2 on checkpoint misuse; 3 when a ``--stop-after`` campaign
+stopped early with no failures (resume it to finish).
 """
 
 from __future__ import annotations
@@ -23,11 +38,18 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import random
 import sys
 
-from repro.sweep.engine import campaign, default_jobs
-from repro.sweep.grid import parse_grid
+from repro.sweep.adaptive import AdaptiveCampaign
+from repro.sweep.checkpoint import CheckpointError, grid_fingerprint
+from repro.sweep.engine import campaign, default_jobs, execute_run
+from repro.sweep.grid import GRID_PARAM_FIELDS, SweepGrid, parse_grid
 from repro.sweep.result import RunRecord, SweepResult
+
+#: Bare ``--check-serial`` re-runs this many seed-deterministically sampled
+#: cells serially (``--check-serial=all`` for the exhaustive gate).
+DEFAULT_SERIAL_SAMPLE = 8
 
 
 def _print_progress(record: RunRecord) -> None:
@@ -52,6 +74,99 @@ def _compare_signatures(pooled: SweepResult, serial: SweepResult) -> int:
     return mismatches
 
 
+def _sampled_serial_check(result: SweepResult, grid: SweepGrid,
+                          sample: int) -> dict:
+    """Re-run a seed-deterministic sample of cells serially and compare.
+
+    The sample is drawn from an RNG seeded by the grid fingerprint, so
+    every invocation over the same grid gates the same cells -- a CI rerun
+    cannot dodge a mismatch by sampling differently.  The serial leg calls
+    :func:`execute_run` directly in-process (batch verification mode), so
+    with ``--streaming`` this also crosses the mode boundary.
+    """
+    specs = grid.expand()
+    rng = random.Random(grid_fingerprint(grid, streaming=False))
+    count = min(sample, len(specs))
+    chosen = [specs[i] for i in sorted(rng.sample(range(len(specs)), count))]
+    pooled_map = result.signature_map()
+    print(f"\nsignature gate: re-running {count} of {len(specs)} cells "
+          "serially (seed-deterministic sample)...")
+    mismatches = 0
+    checked = 0
+    for spec in chosen:
+        pooled_hash = pooled_map.get(spec.cell_id)
+        if pooled_hash is None:  # cell not in this (partial) campaign
+            continue
+        checked += 1
+        serial_hash = execute_run(spec).signature_hash
+        if serial_hash != pooled_hash:
+            mismatches += 1
+            print(f"SIGNATURE MISMATCH {spec.cell_id}: pooled "
+                  f"{pooled_hash[:16]}... != serial {serial_hash[:16]}...")
+    if mismatches == 0:
+        print(f"signature gate: all {checked} sampled cells byte-identical "
+              "between pooled and serial execution")
+    return {"mode": "sample", "cells_checked": checked,
+            "mismatches": mismatches}
+
+
+def _parse_bisect(text: str, parser: argparse.ArgumentParser):
+    """Parse ``AXIS=LO..HI`` into a typed (axis, lo, hi) triple."""
+    axis, sep, bracket = text.partition("=")
+    axis = axis.strip()
+    if not sep or axis not in GRID_PARAM_FIELDS:
+        parser.error(f"--bisect wants AXIS=LO..HI with AXIS one of "
+                     f"{', '.join(sorted(GRID_PARAM_FIELDS))}; got {text!r}")
+    lo_text, sep, hi_text = bracket.partition("..")
+    caster = GRID_PARAM_FIELDS[axis]
+    try:
+        if not sep:
+            raise ValueError
+        lo, hi = caster(lo_text), caster(hi_text)
+    except ValueError:
+        parser.error(f"--bisect bracket {bracket!r} is not LO..HI "
+                     f"{caster.__name__} values")
+    return axis, lo, hi
+
+
+def _run_bisect(args, grid: SweepGrid, parser: argparse.ArgumentParser) -> int:
+    """The ``--bisect`` mode: one frontier campaign per grid scenario."""
+    axis, lo, hi = _parse_bisect(args.bisect, parser)
+    base_params = []
+    for field, values in grid.params:
+        if len(values) != 1:
+            parser.error(f"--bisect pins other axes to single values; grid "
+                         f"axis {field!r} has {len(values)}")
+        base_params.append((field, values[0]))
+    progress = None if args.quiet else _print_progress
+
+    exit_code = 0
+    campaigns = []
+    for scenario in grid.scenarios:
+        print(f"bisect: {scenario} {axis}={lo}..{hi} "
+              f"seeds={','.join(str(s) for s in grid.seeds)}")
+        frontier = AdaptiveCampaign(
+            scenario=scenario, axis=axis, lo=lo, hi=hi, seeds=grid.seeds,
+            base_params=tuple(base_params),
+            streaming=args.streaming).run(progress=progress)
+        campaigns.append(frontier.to_json())
+        mono = "monotone" if frontier.monotonic else \
+            f"NOT MONOTONE at {[v for v, _, _ in frontier.violations]}"
+        print(f"frontier {scenario}/{axis}: {frontier.direction} -> "
+              f"{frontier.frontier} ({len(frontier.records)} probe cells, "
+              f"{frontier.wall_clock_sec:.2f}s, {mono})")
+        if not frontier.monotonic:
+            exit_code = 1
+
+    if args.output is not None:
+        path = pathlib.Path(args.output)
+        path.write_text(json.dumps({"kind": "frontier-report",
+                                    "bisect": args.bisect,
+                                    "campaigns": campaigns}, indent=1) + "\n")
+        print(f"wrote {path}")
+    return exit_code
+
+
 def main(argv=None) -> int:
     """Entry point of ``python -m repro.sweep``; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -60,16 +175,35 @@ def main(argv=None) -> int:
     parser.add_argument("--grid", default="scenarios=all;seeds=0",
                         help='grid spec, e.g. "scenarios=all;seeds=0..3;value_size=256,1024"')
     parser.add_argument("--jobs", type=int, default=None,
-                        help="pool size (default: available cores, capped at 8)")
+                        help="pool size (default: usable cores, capped at 8)")
+    parser.add_argument("--chunk", type=int, default=None, metavar="N",
+                        help="cells per worker task (default: auto-sized from "
+                             "the measured cost of the first cell)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="journal every completed cell to this JSONL file")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --checkpoint: skip cells already journaled "
+                             "for this exact grid instead of re-running them")
+    parser.add_argument("--stop-after", type=int, default=None, metavar="N",
+                        help="stop after N not-yet-journaled cells (exit 3 if "
+                             "that leaves the campaign incomplete; resume to "
+                             "finish)")
     parser.add_argument("--output", default=None,
                         help="write the JSON report here")
-    parser.add_argument("--check-serial", action="store_true",
-                        help="re-run the grid serially and fail unless every "
-                             "cell's history signature matches the pooled run")
+    parser.add_argument("--check-serial", nargs="?", const=str(DEFAULT_SERIAL_SAMPLE),
+                        default=None, metavar="N|all",
+                        help="re-run N seed-deterministically sampled cells "
+                             f"(default {DEFAULT_SERIAL_SAMPLE}; 'all' for the "
+                             "whole grid) serially and fail unless every "
+                             "history signature matches the pooled run")
     parser.add_argument("--streaming", action="store_true",
                         help="verify each cell online with a bounded open "
                              "window (O(open window) worker memory; cell "
                              "hashes stay byte-identical to batch mode)")
+    parser.add_argument("--bisect", default=None, metavar="AXIS=LO..HI",
+                        help="adaptive mode: bisect this grid axis to the "
+                             "pass/fail frontier for each grid scenario "
+                             "instead of enumerating cells")
     parser.add_argument("--list", action="store_true",
                         help="list registered scenarios and exit")
     parser.add_argument("--quiet", action="store_true",
@@ -83,7 +217,18 @@ def main(argv=None) -> int:
             print(f"{name:<28} {scenario.description}")
         return 0
 
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume needs --checkpoint PATH")
+    if args.bisect is not None:
+        for flag in ("checkpoint", "stop_after", "check_serial"):
+            if getattr(args, flag) is not None:
+                parser.error(f"--bisect is probe-driven; "
+                             f"--{flag.replace('_', '-')} does not apply")
+
     grid = parse_grid(args.grid)
+    if args.bisect is not None:
+        return _run_bisect(args, grid, parser)
+
     jobs = args.jobs if args.jobs is not None else default_jobs()
     specs = grid.expand()
     print(f"sweep: {len(specs)} cells "
@@ -91,38 +236,66 @@ def main(argv=None) -> int:
           f"{' x params' if grid.params else ''}), jobs={jobs}")
 
     progress = None if args.quiet else _print_progress
-    result = campaign(grid, jobs=jobs, progress=progress,
-                      streaming=args.streaming)
+    try:
+        result = campaign(grid, jobs=jobs, progress=progress,
+                          streaming=args.streaming, chunk=args.chunk,
+                          checkpoint=args.checkpoint, resume=args.resume,
+                          max_cells=args.stop_after)
+    except CheckpointError as error:
+        print(f"checkpoint error: {error}", file=sys.stderr)
+        return 2
 
     print()
     print(result.render_matrix())
+    resumed = f", {result.resumed_cells} resumed from checkpoint" \
+        if result.resumed_cells else ""
     print(f"\n{result.passed}/{len(result.records)} cells passed in "
           f"{result.wall_clock_sec:.2f}s wall "
           f"(cell time sum {sum(r.wall_clock_sec for r in result.records):.2f}s, "
+          f"chunk={result.chunk}{resumed}, "
           f"checker methods {result.checker_method_counts()})")
+    if not result.complete:
+        print(f"campaign INCOMPLETE: {len(result.records)}/{len(specs)} cells "
+              "have records; resume with --checkpoint ... --resume to finish")
     for record in result.failures():
         print(f"\nFAILED {record.cell_id}:\n{record.failure}")
 
     exit_code = 0 if result.ok else 1
 
     report = result.to_json()
-    if args.check_serial:
-        # The serial leg always runs in batch mode: with --streaming the
-        # gate therefore checks streaming-pooled against batch-serial, i.e.
-        # both the pool layout AND the streaming fold are byte-identical.
-        print("\nre-running serially for the signature gate...")
-        serial = campaign(grid, jobs=1)
-        mismatches = _compare_signatures(result, serial)
-        report["serial_check"] = {
-            "serial_wall_clock_sec": round(serial.wall_clock_sec, 4),
-            "mismatches": mismatches,
-        }
-        if mismatches:
+    if args.check_serial is not None:
+        if args.check_serial == "all":
+            # The serial leg always runs in batch mode: with --streaming the
+            # gate therefore checks streaming-pooled against batch-serial,
+            # i.e. both the pool layout AND the streaming fold are
+            # byte-identical.
+            print("\nre-running the whole grid serially for the signature "
+                  "gate...")
+            serial = campaign(grid, jobs=1)
+            mismatches = _compare_signatures(result, serial)
+            report["serial_check"] = {
+                "mode": "all",
+                "serial_wall_clock_sec": round(serial.wall_clock_sec, 4),
+                "mismatches": mismatches,
+            }
+            if not mismatches and serial.wall_clock_sec > 0 and jobs > 1:
+                speedup = serial.wall_clock_sec / result.wall_clock_sec
+                report["serial_check"]["speedup"] = round(speedup, 2)
+                print(f"parallel speedup at jobs={jobs}: {speedup:.2f}x")
+        else:
+            try:
+                sample = int(args.check_serial)
+                if sample < 1:
+                    raise ValueError
+            except ValueError:
+                parser.error(f"--check-serial wants a positive cell count or "
+                             f"'all', got {args.check_serial!r}")
+            report["serial_check"] = _sampled_serial_check(result, grid, sample)
+        if report["serial_check"]["mismatches"]:
             exit_code = 1
-        elif serial.wall_clock_sec > 0 and jobs > 1:
-            speedup = serial.wall_clock_sec / result.wall_clock_sec
-            report["serial_check"]["speedup"] = round(speedup, 2)
-            print(f"parallel speedup at jobs={jobs}: {speedup:.2f}x")
+
+    if exit_code == 0 and not result.complete:
+        exit_code = 3
 
     if args.output is not None:
         path = pathlib.Path(args.output)

@@ -1,0 +1,264 @@
+"""Adaptive frontier search: bisect a parameter axis to the pass/fail edge.
+
+Exhaustive grids answer "what happens at these N points"; an
+:class:`AdaptiveCampaign` answers "where is the edge" in ``O(log N)``
+probes.  It drives one numeric grid axis (any :data:`GRID_PARAM_FIELDS`
+field -- the canonical example is ``max_events``, the simulator event
+budget, whose exhaustion is a livelock failure) and bisects toward the
+frontier between passing and failing cells.
+
+The bisection oracle is *monotonicity-checked*: bisection is only sound if
+pass/fail is monotone along the axis, so after locating the frontier the
+campaign spends a few extra seed-deterministic probes on each side and
+reports any violation (``monotonic=False`` plus the offending values)
+instead of silently returning a frontier that does not exist.
+
+Every probe is an ordinary sweep cell -- executed by
+:func:`~repro.sweep.engine.execute_run`, verified by the same checker, and
+logged as a :class:`~repro.sweep.result.RunRecord` -- so frontier reports
+carry the same evidence (signature hashes, failure text, checker method)
+as grid campaigns.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sweep.grid import GRID_PARAM_FIELDS, RunSpec
+from repro.sweep.result import RunRecord
+
+#: Bisection on a float axis stops when the bracket shrinks below this
+#: fraction of the initial range (int axes bisect to an exact step of 1).
+FLOAT_RESOLUTION = 1.0 / 256.0
+
+
+@dataclass
+class BisectionOutcome:
+    """What :func:`bisect_axis` concluded about one oracle + bracket.
+
+    ``direction`` is one of ``"min_passing"`` (fails at ``lo``, passes at
+    ``hi``; ``frontier`` is the smallest passing value found),
+    ``"max_passing"`` (the mirror image), ``"all_pass"`` or ``"all_fail"``
+    (no frontier inside the bracket; ``frontier`` is ``lo`` resp. ``None``).
+    """
+
+    direction: str
+    frontier: Optional[object]
+    #: Every value the oracle was asked about, in probe order.
+    probed: List[Tuple[object, bool]] = field(default_factory=list)
+
+
+def bisect_axis(oracle: Callable[[object], bool], lo: object, hi: object,
+                integer: bool = True) -> BisectionOutcome:
+    """Bisect ``[lo, hi]`` to the oracle's pass/fail frontier.
+
+    The oracle must be deterministic and (for the frontier to be
+    meaningful) monotone over the bracket; :class:`AdaptiveCampaign`
+    verifies the latter with extra probes.  ``integer=True`` bisects on
+    whole values down to adjacent points; otherwise the bracket shrinks to
+    :data:`FLOAT_RESOLUTION` of its initial width.
+    """
+    if not lo < hi:
+        raise ValueError(f"bisection bracket needs lo < hi, got {lo}..{hi}")
+    probed: List[Tuple[object, bool]] = []
+
+    def ask(value: object) -> bool:
+        ok = oracle(value)
+        probed.append((value, ok))
+        return ok
+
+    ok_lo, ok_hi = ask(lo), ask(hi)
+    if ok_lo and ok_hi:
+        return BisectionOutcome("all_pass", lo, probed)
+    if not ok_lo and not ok_hi:
+        return BisectionOutcome("all_fail", None, probed)
+
+    # Exactly one end passes: shrink the bracket keeping lo failing-side
+    # semantics fixed by direction.
+    direction = "min_passing" if ok_hi else "max_passing"
+    resolution = 1 if integer else (hi - lo) * FLOAT_RESOLUTION
+    while (hi - lo) > resolution:
+        mid = (lo + hi) // 2 if integer else (lo + hi) / 2
+        if mid == lo or mid == hi:  # integer bracket closed
+            break
+        if ask(mid) == ok_hi:
+            hi = mid
+        else:
+            lo = mid
+    frontier = hi if direction == "min_passing" else lo
+    return BisectionOutcome(direction, frontier, probed)
+
+
+@dataclass
+class FrontierResult:
+    """The outcome of one adaptive frontier campaign."""
+
+    scenario: str
+    axis: str
+    lo: object
+    hi: object
+    seeds: Tuple[int, ...]
+    direction: str
+    #: The frontier value (smallest passing for ``min_passing``, largest
+    #: passing for ``max_passing``, ``lo`` for ``all_pass``) or ``None``
+    #: when every probe failed.
+    frontier: Optional[object]
+    #: Whether the verification probes were consistent with a monotone
+    #: pass/fail boundary (bisection is only meaningful if they were).
+    monotonic: bool
+    #: ``(value, expected_ok, observed_ok)`` for each violated probe.
+    violations: List[Tuple[object, bool, bool]]
+    #: Every cell executed, in probe order (bisection then verification).
+    records: List[RunRecord]
+    wall_clock_sec: float
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable frontier report (CI uploads this artifact)."""
+        return {
+            "scenario": self.scenario,
+            "axis": self.axis,
+            "bracket": [self.lo, self.hi],
+            "seeds": list(self.seeds),
+            "direction": self.direction,
+            "frontier": self.frontier,
+            "monotonic": self.monotonic,
+            "violations": [list(item) for item in self.violations],
+            "probes": len(self.records),
+            "wall_clock_sec": round(self.wall_clock_sec, 4),
+            "cells": [record.to_json() for record in self.records],
+        }
+
+
+@dataclass
+class AdaptiveCampaign:
+    """Bisect one scenario's parameter axis to its pass/fail frontier.
+
+    A probe value *passes* only if the cell verifies for **every** seed in
+    ``seeds`` (the frontier of the worst seed is the honest one to report).
+    ``base_params`` pins the other grid axes for every probe.  Probes are
+    cached by value, so the bracket endpoints, bisection midpoints and
+    verification probes never re-run a cell.
+
+    The CLI form is ``python -m repro.sweep --bisect max_events=500..60000``.
+    """
+
+    scenario: str
+    axis: str
+    lo: object
+    hi: object
+    seeds: Tuple[int, ...] = (0,)
+    base_params: Tuple[Tuple[str, object], ...] = ()
+    streaming: bool = False
+    #: Extra seed-deterministic probes per side of the frontier spent
+    #: checking that pass/fail really is monotone over the bracket.
+    verify_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.axis not in GRID_PARAM_FIELDS:
+            raise ValueError(
+                f"unknown bisection axis {self.axis!r}; allowed: "
+                f"{', '.join(sorted(GRID_PARAM_FIELDS))}")
+        if any(key == self.axis for key, _ in self.base_params):
+            raise ValueError(
+                f"axis {self.axis!r} cannot also be a fixed parameter")
+        caster = GRID_PARAM_FIELDS[self.axis]
+        object.__setattr__(self, "lo", caster(self.lo))
+        object.__setattr__(self, "hi", caster(self.hi))
+        if not self.lo < self.hi:
+            raise ValueError(
+                f"bisection bracket needs lo < hi, got {self.lo}..{self.hi}")
+
+    def _integer_axis(self) -> bool:
+        return GRID_PARAM_FIELDS[self.axis] is int
+
+    def run(self, progress: Optional[Callable[[RunRecord], None]] = None
+            ) -> FrontierResult:
+        """Run the bisection plus monotonicity verification."""
+        from repro.sweep.engine import execute_run
+
+        start = time.perf_counter()
+        records: List[RunRecord] = []
+        cache: Dict[object, bool] = {}
+
+        def oracle(value: object) -> bool:
+            if value in cache:
+                return cache[value]
+            ok = True
+            for seed in self.seeds:
+                params = tuple(sorted(self.base_params
+                                      + ((self.axis, value),)))
+                record = execute_run(
+                    RunSpec(scenario=self.scenario, seed=seed, params=params),
+                    streaming=self.streaming)
+                records.append(record)
+                if progress is not None:
+                    progress(record)
+                ok = ok and record.ok
+            cache[value] = ok
+            return ok
+
+        outcome = bisect_axis(oracle, self.lo, self.hi,
+                              integer=self._integer_axis())
+
+        monotonic, violations = self._verify_monotone(oracle, outcome)
+        return FrontierResult(
+            scenario=self.scenario, axis=self.axis, lo=self.lo, hi=self.hi,
+            seeds=self.seeds, direction=outcome.direction,
+            frontier=outcome.frontier, monotonic=monotonic,
+            violations=violations, records=records,
+            wall_clock_sec=time.perf_counter() - start)
+
+    def _verify_monotone(self, oracle: Callable[[object], bool],
+                         outcome: BisectionOutcome
+                         ) -> Tuple[bool, List[Tuple[object, bool, bool]]]:
+        """Spend a few extra probes checking the monotone-oracle assumption.
+
+        For a ``min_passing`` frontier every value >= frontier must pass
+        and every value < frontier must fail (mirrored for
+        ``max_passing``); ``all_pass`` / ``all_fail`` brackets must stay
+        uniform at sampled interior points.  Probe values are drawn from an
+        RNG seeded by the campaign identity, so reruns probe identically.
+        """
+        if self.verify_probes <= 0:
+            return True, []
+        rng = random.Random(
+            f"adaptive-{self.scenario}-{self.axis}-{self.lo}-{self.hi}")
+        integer = self._integer_axis()
+
+        def draw(lo: object, hi: object) -> Optional[object]:
+            if not lo < hi:
+                return None
+            if integer:
+                return rng.randint(lo, hi) if hi >= lo else None
+            return rng.uniform(lo, hi)
+
+        # The bisection bracket only converges to adjacent ints (or a float
+        # resolution), so failing-side probes must stay at or below the
+        # largest value *known* to fail -- not merely below the frontier.
+        failed = [value for value, ok in outcome.probed if not ok]
+        checks: List[Tuple[object, bool]] = []  # (value, expected_ok)
+        for _ in range(self.verify_probes):
+            if outcome.direction == "min_passing":
+                checks.append((draw(outcome.frontier, self.hi), True))
+                if failed:
+                    checks.append((draw(self.lo, max(failed)), False))
+            elif outcome.direction == "max_passing":
+                checks.append((draw(self.lo, outcome.frontier), True))
+                if failed:
+                    checks.append((draw(min(failed), self.hi), False))
+            elif outcome.direction == "all_pass":
+                checks.append((draw(self.lo, self.hi), True))
+            else:  # all_fail
+                checks.append((draw(self.lo, self.hi), False))
+
+        violations: List[Tuple[object, bool, bool]] = []
+        for value, expected in checks:
+            if value is None:
+                continue
+            observed = oracle(value)
+            if observed != expected:
+                violations.append((value, expected, observed))
+        return not violations, violations

@@ -1,0 +1,157 @@
+"""Resumable campaign checkpoints: an append-only JSONL cell journal.
+
+A campaign started with ``checkpoint=PATH`` appends one JSON line per
+completed cell as records stream back from the workers; a campaign
+restarted over the same grid with ``resume=True`` replays those records
+instead of re-running the cells.  Because every cell is a pure function of
+its :class:`~repro.sweep.grid.RunSpec`, the merged
+:class:`~repro.sweep.result.SweepResult` of an interrupted-and-resumed
+campaign is identical -- signature hashes, pass/fail matrix, checker-method
+counts -- to an uninterrupted run, which the tier-1 checkpoint tests gate.
+
+The journal is guarded by a *grid fingerprint* (SHA-256 over the grid
+description plus the streaming flag): resuming with a different grid, seed
+list, parameter axis or verification mode is an explicit
+:class:`CheckpointError`, never a silent partial merge.  A final line left
+truncated by a hard kill is dropped on load (the cell simply re-runs);
+truncation anywhere else is corruption and raises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Dict, Optional, TextIO, Tuple, Union
+
+from repro.sweep.grid import SweepGrid
+from repro.sweep.result import RunRecord
+
+#: Journal format version (bumped on incompatible schema changes).
+CHECKPOINT_SCHEMA = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint journal cannot be (re)used: wrong grid, mode or format."""
+
+
+def grid_fingerprint(grid: SweepGrid, streaming: bool = False) -> str:
+    """SHA-256 fingerprint of a grid + verification mode.
+
+    This keys the checkpoint journal (resuming against a different grid is
+    an error) and seeds the ``--check-serial`` cell sampler, so it must be
+    deterministic across processes and sessions: it hashes the canonical
+    JSON of :meth:`SweepGrid.describe` plus the streaming flag.
+    """
+    payload = {"grid": grid.describe(), "streaming": bool(streaming)}
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+class Checkpoint:
+    """An open campaign journal: completed cells in, completed cells out.
+
+    Use :meth:`open` (not the constructor) to create or resume one; the
+    campaign engine appends each :class:`RunRecord` the moment it comes
+    back from a worker (flushed per line, so a killed campaign loses at
+    most the in-flight cells) and reads :attr:`records` to know which cells
+    to skip.
+    """
+
+    def __init__(self, path: pathlib.Path, grid_hash: str,
+                 records: Dict[str, RunRecord], file: TextIO) -> None:
+        self.path = path
+        self.grid_hash = grid_hash
+        #: ``cell_id -> RunRecord`` for every journaled (completed) cell.
+        self.records = records
+        self._file: Optional[TextIO] = file
+
+    @classmethod
+    def open(cls, path: Union[str, pathlib.Path], grid: SweepGrid,
+             streaming: bool = False, resume: bool = False) -> "Checkpoint":
+        """Create a fresh journal, or (``resume=True``) reopen an existing one.
+
+        An existing journal without ``resume`` is an error -- a stale file
+        must never silently masquerade as campaign progress.  ``resume``
+        against a missing/empty file simply starts fresh (so a resume
+        invocation is idempotent from the first attempt on).  A resumed
+        journal's grid fingerprint must match ``grid``/``streaming``.
+        """
+        path = pathlib.Path(path)
+        grid_hash = grid_fingerprint(grid, streaming)
+        if path.exists() and path.stat().st_size > 0:
+            if not resume:
+                raise CheckpointError(
+                    f"checkpoint {path} already exists; pass resume=True "
+                    "(--resume) to continue it, or delete it to start over")
+            header, records = cls._load(path)
+            if header.get("grid_hash") != grid_hash:
+                raise CheckpointError(
+                    f"checkpoint {path} was recorded for a different "
+                    "grid/streaming mode; refusing to merge (delete it or "
+                    "rerun with the original --grid/--streaming flags)")
+            return cls(path, grid_hash, records, path.open("a", encoding="utf-8"))
+        file = path.open("w", encoding="utf-8")
+        header = {"kind": "sweep-checkpoint", "schema": CHECKPOINT_SCHEMA,
+                  "grid_hash": grid_hash, "grid": grid.describe(),
+                  "streaming": bool(streaming)}
+        file.write(json.dumps(header) + "\n")
+        file.flush()
+        return cls(path, grid_hash, {}, file)
+
+    @staticmethod
+    def _load(path: pathlib.Path) -> Tuple[dict, Dict[str, RunRecord]]:
+        """Parse a journal into its header and per-cell records.
+
+        A malformed *final* line is tolerated and dropped -- that is
+        exactly what a mid-write kill leaves behind, and the cell re-runs
+        deterministically.  Malformed lines elsewhere mean the file was
+        edited or corrupted and raise.
+        """
+        lines = path.read_text(encoding="utf-8").splitlines()
+        try:
+            header = json.loads(lines[0])
+        except (json.JSONDecodeError, IndexError):
+            raise CheckpointError(
+                f"checkpoint {path} has no readable header line") from None
+        if header.get("kind") != "sweep-checkpoint" or \
+                header.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"checkpoint {path} is not a schema-{CHECKPOINT_SCHEMA} "
+                "sweep checkpoint")
+        records: Dict[str, RunRecord] = {}
+        for number, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+                record = RunRecord.from_json(payload["record"])
+            except (json.JSONDecodeError, KeyError, TypeError):
+                if number == len(lines):
+                    break  # interrupted mid-write: the cell just re-runs
+                raise CheckpointError(
+                    f"checkpoint {path} line {number} is corrupt (not a "
+                    "trailing partial write); refusing to resume") from None
+            records[record.cell_id] = record
+        return header, records
+
+    def append(self, record: RunRecord) -> None:
+        """Journal one completed cell (flushed immediately)."""
+        if self._file is None:
+            raise CheckpointError(f"checkpoint {self.path} is closed")
+        self._file.write(json.dumps({"kind": "record",
+                                     "record": record.to_json()}) + "\n")
+        self._file.flush()
+        self.records[record.cell_id] = record
+
+    def close(self) -> None:
+        """Close the journal file (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "Checkpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,40 +1,109 @@
-"""The campaign engine: fan sweep cells out over a process pool.
+"""The campaign engine: fan sweep cells out over a warm process pool.
 
-Each worker executes one ``(scenario, seed, params)`` cell end-to-end --
-run *and* verify -- and returns a compact :class:`~repro.sweep.result.RunRecord`.
+Each worker executes *batches* of ``(scenario, seed, params)`` cells
+end-to-end -- run *and* verify -- and streams compact
+:class:`~repro.sweep.result.RunRecord` lists back as the batches complete.
 Histories, deployments and simulators never cross the process boundary;
 only scalars, small dicts and the SHA-256 signature hash do.
 
-Determinism: a cell is a pure function of its :class:`~repro.sweep.grid.RunSpec`
-(``run_scenario_instance`` derives every RNG stream from the scenario name
-and seed, and nothing in this module shares mutable state between cells), so
-a cell's history signature is byte-identical whether it runs in the parent
-process, a pool worker, or another machine.  ``campaign(grid, jobs=1)`` and
-``campaign(grid, jobs=N)`` therefore agree hash-for-hash on every cell --
-CI gates on exactly that.
+Three things make campaigns scale past the 0.67x pooled regression the
+pre-chunking engine recorded on small cells:
+
+* **Chunking.**  Cells are milliseconds long but a pool task costs a
+  pickle/unpickle round trip, so the engine batches many cells per task.
+  The batch size is auto-sized from the *measured* cost of the first cell
+  (targeting :data:`TARGET_TASK_SECONDS` of compute per task) and can be
+  pinned with ``chunk=N``.
+* **Warm workers.**  One persistent pool serves the whole campaign; each
+  worker runs :func:`_warm_worker` exactly once (scenario registry,
+  checker and value-interning imports), so per-batch work is pure compute.
+* **Streaming results.**  Batches return via ``imap_unordered`` the moment
+  they finish; checkpoint journaling, progress reporting and aggregation
+  are incremental, not end-of-campaign.
+
+Determinism: a cell is a pure function of its
+:class:`~repro.sweep.grid.RunSpec` (``run_scenario_instance`` derives every
+RNG stream from the scenario name and seed, and nothing in this module
+shares mutable state between cells), so a cell's history signature is
+byte-identical whether it runs in the parent process, any pool worker, any
+batch layout, or another machine.  ``campaign(grid, jobs=1)`` and
+``campaign(grid, jobs=N, chunk=M)`` therefore agree hash-for-hash on every
+cell -- CI gates on exactly that -- and a checkpoint-resumed campaign
+merges to the identical result.
 """
 
 from __future__ import annotations
 
 import functools
+import gc
 import multiprocessing
+import os
+import pathlib
 import time
 import traceback
 from dataclasses import replace
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.sweep.checkpoint import Checkpoint
 from repro.sweep.grid import RunSpec, SweepGrid
 from repro.sweep.result import RunRecord, SweepResult, latency_summary
 
+#: Auto-chunking aims for this much *compute* per pool task: large enough
+#: to amortize the per-task pickle/dispatch cost (tens of microseconds)
+#: down to noise, small enough that a campaign still streams progress and
+#: balances across workers.
+TARGET_TASK_SECONDS = 0.25
+
+#: Upper bound on the auto-sized chunk so a pathological probe measurement
+#: (e.g. a first cell that is 1000x cheaper than the rest) cannot serialise
+#: the whole campaign into one task.
+MAX_AUTO_CHUNK = 64
+
+
+def _cgroup_cpu_quota(root: Union[str, pathlib.Path] = "/sys/fs/cgroup"
+                      ) -> Optional[float]:
+    """The container's CPU quota in cores, or ``None`` when unlimited.
+
+    Reads cgroup v2 (``cpu.max``: ``"<quota> <period>"`` or ``"max ..."``)
+    first, then cgroup v1 (``cpu/cpu.cfs_quota_us`` / ``cpu.cfs_period_us``,
+    where ``-1`` means unlimited).  Errors and absent files mean "no quota".
+    """
+    root = pathlib.Path(root)
+    try:
+        parts = (root / "cpu.max").read_text().split()
+        if parts and parts[0] != "max":
+            quota = float(parts[0])
+            period = float(parts[1]) if len(parts) > 1 else 100000.0
+            if quota > 0 and period > 0:
+                return quota / period
+    except (OSError, ValueError):
+        pass
+    try:
+        quota = float((root / "cpu" / "cpu.cfs_quota_us").read_text())
+        period = float((root / "cpu" / "cpu.cfs_period_us").read_text())
+        if quota > 0 and period > 0:
+            return quota / period
+    except (OSError, ValueError):
+        pass
+    return None
+
 
 def usable_cores() -> int:
-    """Cores this process may actually run on (affinity-aware)."""
-    try:
-        import os
+    """Cores this process may actually use: affinity AND cgroup quota aware.
 
-        return len(os.sched_getaffinity(0))
+    ``os.cpu_count()`` reports the host; a containerised campaign is
+    bounded by its CPU affinity mask *and* its cgroup CPU quota (a 16-core
+    host with a 2-CPU quota can only ever deliver 2x).  ``default_jobs``
+    and the benchmark speedup-floor arming logic both follow this number.
+    """
+    try:
+        cores = len(os.sched_getaffinity(0))
     except (AttributeError, OSError):  # pragma: no cover - non-Linux hosts
-        return multiprocessing.cpu_count()
+        cores = multiprocessing.cpu_count() or 1
+    quota = _cgroup_cpu_quota()
+    if quota is not None:
+        cores = min(cores, max(1, int(quota)))
+    return max(1, cores)
 
 
 def default_jobs() -> int:
@@ -116,6 +185,49 @@ def execute_run(spec: RunSpec, streaming: bool = False) -> RunRecord:
             history_ops=0, events=0, messages=0, checker_method="")
 
 
+def _warm_worker() -> None:
+    """One-time per-worker initialisation (the warm-worker half of chunking).
+
+    Imports the scenario registry, the linearizability checkers and the
+    value-interning caches exactly once per worker process, so batch
+    execution never pays import cost -- relevant under the ``spawn`` start
+    method, and harmless under ``fork`` (the imports are already resolved
+    and return instantly).
+    """
+    import repro.spec.linearizability  # noqa: F401
+    import repro.workloads.scenarios  # noqa: F401
+
+
+def _execute_batch(indexed_batch: Tuple[int, Sequence[RunSpec]],
+                   streaming: bool = False) -> Tuple[int, List[RunRecord]]:
+    """Worker task: run one batch of cells, return its index and records.
+
+    The index lets the parent stream batches back out of completion order
+    (``imap_unordered``) while still reassembling grid-expansion order.
+    """
+    index, batch = indexed_batch
+    return index, [execute_run(spec, streaming=streaming) for spec in batch]
+
+
+def auto_chunk(per_cell_sec: float, pending_cells: int, jobs: int) -> int:
+    """Batch size from a measured per-cell cost.
+
+    Targets :data:`TARGET_TASK_SECONDS` of compute per task, keeps at least
+    ~2 tasks per worker for dynamic load balance, and never exceeds
+    :data:`MAX_AUTO_CHUNK`.
+    """
+    per_cell = max(per_cell_sec, 1e-5)
+    by_cost = int(TARGET_TASK_SECONDS / per_cell)
+    by_balance = -(-pending_cells // (2 * max(1, jobs)))  # ceil division
+    return max(1, min(by_cost, by_balance, MAX_AUTO_CHUNK))
+
+
+def _chunked(specs: Sequence[RunSpec], size: int) -> List[List[RunSpec]]:
+    """Split ``specs`` into consecutive batches of at most ``size`` cells."""
+    return [list(specs[start:start + size])
+            for start in range(0, len(specs), size)]
+
+
 def _pool_context():
     """Prefer fork (no re-import, no pickling of module state); fall back to
     the platform default where fork is unavailable."""
@@ -125,14 +237,30 @@ def _pool_context():
 
 def campaign(grid: SweepGrid, jobs: int = 1,
              progress: Optional[Callable[[RunRecord], None]] = None,
-             streaming: bool = False) -> SweepResult:
+             streaming: bool = False,
+             chunk: Optional[int] = None,
+             checkpoint: Optional[Union[str, pathlib.Path]] = None,
+             resume: bool = False,
+             max_cells: Optional[int] = None) -> SweepResult:
     """Execute every cell of ``grid`` and aggregate into a :class:`SweepResult`.
 
     ``jobs=1`` runs serially in-process (no pool, no pickling); ``jobs>1``
-    fans the cells out over a ``multiprocessing`` pool with ``chunksize=1``
-    (cells are seconds-long, so dynamic scheduling beats pre-chunking).
-    Records come back in grid-expansion order either way, so the aggregate
-    report is deterministic regardless of completion order.
+    fans *batches* of cells out over a persistent ``multiprocessing`` pool
+    of warm workers.  ``chunk`` pins the cells-per-task batch size; the
+    default measures the first cell (run through the pool, so the timing is
+    a real warm-worker number) and sizes batches via :func:`auto_chunk`.
+    Batches stream back through ``imap_unordered``, so journaling, progress
+    and aggregation are incremental; the final record list is reassembled
+    in grid-expansion order, making the aggregate report deterministic
+    regardless of completion order.
+
+    ``checkpoint=PATH`` journals every completed cell to a JSONL file (see
+    :mod:`repro.sweep.checkpoint`); with ``resume=True`` previously
+    journaled cells are replayed instead of re-run, and the merged result
+    is identical to an uninterrupted campaign.  ``max_cells=N`` stops after
+    the first ``N`` not-yet-journaled cells (the scriptable "interrupt at
+    50%%" used by the CI resume gate); the partial result has
+    ``complete=False``.
 
     ``streaming=True`` makes every worker verify its cell online with a
     bounded open window (see :func:`execute_run`); cell hashes stay
@@ -140,27 +268,92 @@ def campaign(grid: SweepGrid, jobs: int = 1,
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if chunk is not None and chunk < 1:
+        raise ValueError("chunk must be >= 1")
     specs = grid.expand()
-    run_cell = functools.partial(execute_run, streaming=streaming)
     start = time.perf_counter()
-    # jobs > 1 always goes through a real pool -- even for one cell -- so a
-    # --check-serial gate genuinely compares pooled against serial execution.
-    if jobs == 1:
-        records = []
-        for spec in specs:
-            record = run_cell(spec)
+
+    journal: Optional[Checkpoint] = None
+    if checkpoint is not None:
+        journal = Checkpoint.open(checkpoint, grid, streaming=streaming,
+                                  resume=resume)
+
+    try:
+        records_by_cell = {}
+        if journal is not None:
+            # Only journaled cells that belong to this grid count; the grid
+            # fingerprint already guarantees they all do.
+            records_by_cell = {spec.cell_id: journal.records[spec.cell_id]
+                               for spec in specs
+                               if spec.cell_id in journal.records}
+        resumed = len(records_by_cell)
+        pending = [spec for spec in specs
+                   if spec.cell_id not in records_by_cell]
+        if max_cells is not None:
+            pending = pending[:max(0, max_cells)]
+
+        def emit(record: RunRecord) -> None:
+            # Journal first: a progress callback that raises (or a user
+            # interrupt delivered inside it) must not lose the cell.
+            if journal is not None:
+                journal.append(record)
+            records_by_cell[record.cell_id] = record
             if progress is not None:
                 progress(record)
-            records.append(record)
-    else:
-        ctx = _pool_context()
-        with ctx.Pool(processes=min(jobs, len(specs))) as pool:
-            # imap keeps submission order while letting the caller see each
-            # record as soon as its worker finishes.
-            records = []
-            for record in pool.imap(run_cell, specs, chunksize=1):
-                if progress is not None:
-                    progress(record)
-                records.append(record)
-    return SweepResult(grid=grid.describe(), jobs=jobs, records=records,
-                       wall_clock_sec=time.perf_counter() - start)
+
+        pool_spinup = 0.0
+        used_chunk = chunk if chunk is not None else 1
+        if jobs == 1 or not pending:
+            for spec in pending:
+                emit(execute_run(spec, streaming=streaming))
+        else:
+            run_batch = functools.partial(_execute_batch, streaming=streaming)
+            ctx = _pool_context()
+            spinup_start = time.perf_counter()
+            # Forked workers inherit the parent heap copy-on-write; without
+            # this, the children's refcount/GC traffic over inherited pages
+            # faults-and-copies them and every cell runs measurably slower
+            # than serial.  Collect first (smaller inheritance), then freeze
+            # survivors into the permanent generation so child GC passes
+            # stop rewriting them; the parent unfreezes once workers exist.
+            gc.collect()
+            gc.freeze()
+            try:
+                # jobs > 1 always goes through a real pool -- even for one
+                # cell -- so a --check-serial gate genuinely compares pooled
+                # against serial execution.  Worker processes are capped at
+                # usable_cores(): cells are pure CPU, so oversubscribing a
+                # host buys scheduler contention, not parallelism.
+                workers = max(1, min(jobs, len(pending), usable_cores()))
+                pool_ctx = ctx.Pool(processes=workers,
+                                    initializer=_warm_worker)
+            finally:
+                gc.unfreeze()
+            with pool_ctx as pool:
+                pool_spinup = time.perf_counter() - spinup_start
+                remaining = pending
+                if chunk is None:
+                    # Probe: the first cell runs alone (through the pool, so
+                    # the measurement is warm-worker compute) and its cost
+                    # sizes the batches for the rest of the campaign.
+                    _, probe_records = pool.apply(run_batch,
+                                                  ((0, remaining[:1]),))
+                    emit(probe_records[0])
+                    remaining = remaining[1:]
+                    used_chunk = auto_chunk(probe_records[0].wall_clock_sec,
+                                            len(remaining), jobs)
+                batches = list(enumerate(_chunked(remaining, used_chunk)))
+                for _, batch_records in pool.imap_unordered(run_batch, batches):
+                    for record in batch_records:
+                        emit(record)
+
+        ordered = [records_by_cell[spec.cell_id] for spec in specs
+                   if spec.cell_id in records_by_cell]
+        return SweepResult(grid=grid.describe(), jobs=jobs, records=ordered,
+                           wall_clock_sec=time.perf_counter() - start,
+                           chunk=used_chunk, pool_spinup_sec=pool_spinup,
+                           resumed_cells=resumed,
+                           complete=len(ordered) == len(specs))
+    finally:
+        if journal is not None:
+            journal.close()

@@ -38,7 +38,11 @@ from typing import Dict, List, Sequence, Tuple
 #: registration instead of an override -- except the reconfiguration-rate
 #: fields below.  The keyspace axes only apply to store scenarios --
 #: overriding ``num_keys`` on a single-register scenario fails the cell
-#: with an explicit workload/deployment mismatch error.
+#: with an explicit workload/deployment mismatch error.  ``max_events``
+#: caps the simulator event budget: a cell that exhausts it fails with a
+#: livelock error, which makes the budget a monotone pass/fail axis (the
+#: canonical target for ``AdaptiveCampaign`` bisection -- the minimum
+#: event budget at which a scenario still completes and verifies).
 WORKLOAD_PARAM_FIELDS: Dict[str, type] = {
     "value_size": int,
     "think_time": float,
@@ -46,6 +50,7 @@ WORKLOAD_PARAM_FIELDS: Dict[str, type] = {
     "operations_per_reader": int,
     "num_keys": int,
     "batch_size": int,
+    "max_events": int,
 }
 
 #: Scenario-level fields a grid may override, with their parsers.  These

@@ -69,6 +69,31 @@ class RunRecord:
     def cell_id(self) -> str:
         return format_cell_id(self.scenario, self.seed, self.params)
 
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "RunRecord":
+        """Rebuild a record from its :meth:`to_json` rendering.
+
+        The round-trip is exact for everything the checkpoint/resume gate
+        compares (scenario, seed, canonically ordered params, ok flag,
+        signature hash, checker method); ``wall_clock_sec`` keeps the
+        original cell's measured time, not the resumed campaign's.
+        """
+        return cls(
+            scenario=payload["scenario"],
+            seed=payload["seed"],
+            params=tuple(sorted(payload.get("params", {}).items())),
+            ok=payload["ok"],
+            failure=payload.get("failure"),
+            signature_hash=payload["signature_hash"],
+            wall_clock_sec=payload["wall_clock_sec"],
+            history_ops=payload["history_ops"],
+            events=payload["events"],
+            messages=payload["messages"],
+            checker_method=payload["checker_method"],
+            read_latency=dict(payload.get("read_latency", {})),
+            write_latency=dict(payload.get("write_latency", {})),
+        )
+
     def to_json(self) -> Dict[str, object]:
         """JSON-serialisable rendering of this cell's record."""
         return {
@@ -91,12 +116,24 @@ class RunRecord:
 
 @dataclass
 class SweepResult:
-    """The aggregated outcome of one campaign."""
+    """The aggregated outcome of one campaign.
+
+    ``chunk`` is the cells-per-worker-task batch size the engine used
+    (1 when serial), ``pool_spinup_sec`` the measured pool start-up cost,
+    ``resumed_cells`` how many cells were replayed from a checkpoint
+    journal instead of executed, and ``complete`` whether every cell of
+    the grid has a record (``False`` after an interrupted / ``max_cells``-
+    truncated campaign).
+    """
 
     grid: Dict[str, object]
     jobs: int
     records: List[RunRecord]
     wall_clock_sec: float
+    chunk: int = 1
+    pool_spinup_sec: float = 0.0
+    resumed_cells: int = 0
+    complete: bool = True
 
     # ----------------------------------------------------------- aggregates
     @property
@@ -151,10 +188,14 @@ class SweepResult:
         return {
             "grid": self.grid,
             "jobs": self.jobs,
+            "chunk": self.chunk,
+            "complete": self.complete,
+            "resumed_cells": self.resumed_cells,
             "cells_total": len(self.records),
             "cells_passed": self.passed,
             "cells_failed": self.failed,
             "wall_clock_sec": round(self.wall_clock_sec, 4),
+            "pool_spinup_sec": round(self.pool_spinup_sec, 4),
             "cell_wall_clock_sum_sec": round(
                 sum(record.wall_clock_sec for record in self.records), 4),
             "slowest_cell": None if slowest is None else slowest.cell_id,

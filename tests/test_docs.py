@@ -161,7 +161,9 @@ class TestReadme:
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
         flags = set(re.findall(r"--[a-z-]+", readme.split("## Scale-out sweeps")[1]
                                .split("## Tests")[0]))
-        known = {"--grid", "--jobs", "--check-serial", "--streaming",
+        known = {"--grid", "--jobs", "--chunk", "--checkpoint", "--resume",
+                 "--stop-after", "--check-serial", "--streaming", "--bisect",
                  "--output", "--list", "--quiet"}
         assert flags <= known, f"README documents unknown sweep flags: {flags - known}"
-        assert {"--grid", "--jobs", "--check-serial"} <= flags
+        assert {"--grid", "--jobs", "--chunk", "--checkpoint", "--resume",
+                "--check-serial", "--bisect"} <= flags

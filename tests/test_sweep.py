@@ -11,10 +11,12 @@ import json
 
 import pytest
 
-from repro.sweep import (RunSpec, SweepGrid, campaign, default_jobs,
-                         execute_run, latency_summary, parse_grid, parse_seeds,
-                         resolve_scenarios)
+from repro.sweep import (RunSpec, SweepGrid, auto_chunk, campaign,
+                         default_jobs, execute_run, latency_summary,
+                         parse_grid, parse_seeds, resolve_scenarios,
+                         usable_cores)
 from repro.sweep.__main__ import main as sweep_main
+from repro.sweep.engine import MAX_AUTO_CHUNK, _cgroup_cpu_quota
 from repro.workloads.scenarios import scenario_names
 
 
@@ -206,6 +208,102 @@ class TestCampaign:
     def test_default_jobs_is_positive(self):
         assert default_jobs() >= 1
 
+    def test_pinned_chunk_matches_serial_hash_for_hash(self):
+        serial = campaign(self.GRID, jobs=1)
+        chunked = campaign(self.GRID, jobs=2, chunk=3)
+        assert chunked.chunk == 3
+        assert chunked.signature_map() == serial.signature_map()
+        assert [r.cell_id for r in chunked.records] == \
+            [r.cell_id for r in serial.records]
+
+    def test_auto_chunk_is_recorded(self):
+        result = campaign(self.GRID, jobs=2)
+        assert result.chunk >= 1
+        assert result.pool_spinup_sec >= 0.0
+
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ValueError, match="chunk"):
+            campaign(self.GRID, jobs=2, chunk=0)
+
+    def test_max_cells_truncates_deterministically(self):
+        partial = campaign(self.GRID, jobs=1, max_cells=2)
+        assert not partial.complete
+        assert [r.cell_id for r in partial.records] == \
+            [spec.cell_id for spec in self.GRID.expand()[:2]]
+
+    def test_max_events_axis_is_a_livelock_frontier(self):
+        # A starved event budget fails the cell (the adaptive campaigns
+        # bisect exactly this), a generous one verifies.
+        grid = SweepGrid(scenarios=("abd_crash_minority",), seeds=(0,),
+                         params=(("max_events", (200, 60000)),))
+        result = campaign(grid, jobs=1)
+        by_budget = {dict(r.params)["max_events"]: r for r in result.records}
+        assert not by_budget[200].ok
+        assert by_budget[60000].ok
+
+
+class TestAutoChunk:
+    def test_cheap_cells_get_big_batches(self):
+        # 5ms cells: ~50 cells per 0.25s task, but load balance caps first.
+        assert auto_chunk(0.005, 1000, 4) == 50
+
+    def test_expensive_cells_get_single_batches(self):
+        assert auto_chunk(0.5, 1000, 4) == 1
+
+    def test_load_balance_keeps_two_tasks_per_worker(self):
+        # 16 pending cells over 4 workers: never more than 2 cells per task
+        # even though the cost target would allow far larger batches.
+        assert auto_chunk(0.001, 16, 4) == 2
+
+    def test_capped_and_floored(self):
+        assert auto_chunk(0.0, 100_000, 1) == MAX_AUTO_CHUNK
+        assert auto_chunk(100.0, 10, 1) == 1
+
+
+class TestUsableCores:
+    def test_positive_and_at_most_affinity(self):
+        import os
+
+        assert 1 <= usable_cores() <= len(os.sched_getaffinity(0))
+
+    def test_cgroup_quota_caps_cores(self, monkeypatch):
+        import repro.sweep.engine as engine
+
+        monkeypatch.setattr(engine.os, "sched_getaffinity",
+                            lambda pid: set(range(16)))
+        monkeypatch.setattr(engine, "_cgroup_cpu_quota", lambda: 2.0)
+        assert usable_cores() == 2
+        monkeypatch.setattr(engine, "_cgroup_cpu_quota", lambda: None)
+        assert usable_cores() == 16
+        # A sub-core quota still leaves one usable core.
+        monkeypatch.setattr(engine, "_cgroup_cpu_quota", lambda: 0.5)
+        assert usable_cores() == 1
+
+    def test_cgroup_v2_parsing(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("200000 100000\n")
+        assert _cgroup_cpu_quota(tmp_path) == 2.0
+        (tmp_path / "cpu.max").write_text("max 100000\n")
+        assert _cgroup_cpu_quota(tmp_path) is None
+
+    def test_cgroup_v1_parsing(self, tmp_path):
+        (tmp_path / "cpu").mkdir()
+        (tmp_path / "cpu" / "cpu.cfs_quota_us").write_text("150000\n")
+        (tmp_path / "cpu" / "cpu.cfs_period_us").write_text("100000\n")
+        assert _cgroup_cpu_quota(tmp_path) == 1.5
+        (tmp_path / "cpu" / "cpu.cfs_quota_us").write_text("-1\n")
+        assert _cgroup_cpu_quota(tmp_path) is None
+
+    def test_missing_cgroup_means_no_quota(self, tmp_path):
+        assert _cgroup_cpu_quota(tmp_path / "nope") is None
+
+    def test_default_jobs_follows_usable_cores(self, monkeypatch):
+        import repro.sweep.engine as engine
+
+        monkeypatch.setattr(engine, "usable_cores", lambda: 32)
+        assert default_jobs() == 8
+        monkeypatch.setattr(engine, "usable_cores", lambda: 3)
+        assert default_jobs() == 3
+
 
 class TestLatencySummary:
     def test_empty(self):
@@ -253,3 +351,53 @@ class TestCli:
     def test_cli_bad_grid_raises(self):
         with pytest.raises(ValueError):
             sweep_main(["--grid", "scenarios=nope;seeds=0"])
+
+    def test_cli_chunk_flag(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = sweep_main(["--grid", "scenarios=abd_crash_minority;seeds=0..1",
+                           "--jobs", "2", "--chunk", "2",
+                           "--output", str(out), "--quiet"])
+        assert code == 0
+        assert json.loads(out.read_text())["chunk"] == 2
+
+    def test_cli_check_serial_all(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = sweep_main(["--grid", "scenarios=treas_crash_server;seeds=0",
+                           "--jobs", "2", "--check-serial=all",
+                           "--output", str(out), "--quiet"])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["serial_check"]["mode"] == "all"
+        assert report["serial_check"]["mismatches"] == 0
+
+    def test_cli_check_serial_bad_value(self):
+        with pytest.raises(SystemExit):
+            sweep_main(["--grid", "scenarios=treas_crash_server;seeds=0",
+                        "--check-serial=zero", "--quiet"])
+
+    def test_cli_stop_after_then_resume(self, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt"
+        out = tmp_path / "sweep.json"
+        code = sweep_main(["--grid", "scenarios=abd_crash_minority;seeds=0..3",
+                           "--jobs", "1", "--checkpoint", str(ckpt),
+                           "--stop-after", "2", "--quiet"])
+        assert code == 3  # incomplete but failure-free
+        code = sweep_main(["--grid", "scenarios=abd_crash_minority;seeds=0..3",
+                           "--jobs", "1", "--checkpoint", str(ckpt),
+                           "--resume", "--output", str(out), "--quiet"])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["complete"] and report["resumed_cells"] == 2
+        assert report["cells_total"] == 4
+
+    def test_cli_existing_checkpoint_without_resume_exits_2(self, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt"
+        args = ["--grid", "scenarios=abd_crash_minority;seeds=0",
+                "--jobs", "1", "--checkpoint", str(ckpt), "--quiet"]
+        assert sweep_main(args) == 0
+        assert sweep_main(args) == 2
+
+    def test_cli_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            sweep_main(["--grid", "scenarios=abd_crash_minority;seeds=0",
+                        "--resume", "--quiet"])

@@ -1,0 +1,201 @@
+"""Checkpoint/resume: the journal format and the identical-merge guarantee.
+
+The acceptance gate lives here: a campaign interrupted at ~50% (by budget
+truncation, by an interrupt raised mid-stream, or by a crashing cell) and
+resumed from its journal must produce a :class:`SweepResult` identical --
+signature hashes, pass/fail matrix, checker-method counts -- to an
+uninterrupted run of the same grid.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep import (Checkpoint, CheckpointError, RunRecord, SweepGrid,
+                         campaign, execute_run, grid_fingerprint)
+from repro.sweep.grid import RunSpec
+
+GRID = SweepGrid(scenarios=("abd_crash_minority", "treas_crash_server"),
+                 seeds=(0, 1))
+
+
+def _record(seed: int = 0) -> RunRecord:
+    return execute_run(RunSpec("abd_crash_minority", seed))
+
+
+class TestGridFingerprint:
+    def test_deterministic(self):
+        assert grid_fingerprint(GRID) == grid_fingerprint(GRID)
+
+    def test_sensitive_to_grid_and_mode(self):
+        other = SweepGrid(scenarios=("abd_crash_minority",), seeds=(0, 1))
+        assert grid_fingerprint(GRID) != grid_fingerprint(other)
+        assert grid_fingerprint(GRID) != grid_fingerprint(GRID, streaming=True)
+
+
+class TestRunRecordRoundTrip:
+    def test_from_json_is_exact_for_gate_fields(self):
+        record = _record()
+        clone = RunRecord.from_json(record.to_json())
+        assert clone.cell_id == record.cell_id
+        assert clone.signature_hash == record.signature_hash
+        assert clone.ok == record.ok and clone.failure == record.failure
+        assert clone.checker_method == record.checker_method
+        assert clone.params == record.params
+        assert clone.read_latency == record.read_latency
+
+    def test_failed_record_round_trips(self):
+        record = execute_run(RunSpec("no_such_scenario", 0))
+        clone = RunRecord.from_json(record.to_json())
+        assert not clone.ok and "cell crashed" in clone.failure
+
+
+class TestCheckpointFile:
+    def test_fresh_journal_has_header_and_records(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        with Checkpoint.open(path, GRID) as journal:
+            journal.append(_record())
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "sweep-checkpoint"
+        assert header["grid_hash"] == grid_fingerprint(GRID)
+        assert json.loads(lines[1])["kind"] == "record"
+
+    def test_existing_journal_requires_resume(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        with Checkpoint.open(path, GRID) as journal:
+            journal.append(_record())
+        with pytest.raises(CheckpointError, match="already exists"):
+            Checkpoint.open(path, GRID)
+
+    def test_resume_replays_records(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        record = _record()
+        with Checkpoint.open(path, GRID) as journal:
+            journal.append(record)
+        with Checkpoint.open(path, GRID, resume=True) as journal:
+            assert journal.records[record.cell_id].signature_hash == \
+                record.signature_hash
+
+    def test_resume_rejects_other_grid_or_mode(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        Checkpoint.open(path, GRID).close()
+        other = SweepGrid(scenarios=("abd_crash_minority",), seeds=(0,))
+        with pytest.raises(CheckpointError, match="different"):
+            Checkpoint.open(path, other, resume=True)
+        with pytest.raises(CheckpointError, match="different"):
+            Checkpoint.open(path, GRID, streaming=True, resume=True)
+
+    def test_resume_against_missing_file_starts_fresh(self, tmp_path):
+        journal = Checkpoint.open(tmp_path / "new.ckpt", GRID, resume=True)
+        assert journal.records == {}
+        journal.close()
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        # Exactly what a hard kill mid-write leaves behind: the partial
+        # cell simply re-runs on resume.
+        path = tmp_path / "sweep.ckpt"
+        with Checkpoint.open(path, GRID) as journal:
+            journal.append(_record(0))
+            journal.append(_record(1))
+        with path.open("a") as file:
+            file.write('{"kind": "record", "record": {"scena')
+        with Checkpoint.open(path, GRID, resume=True) as journal:
+            assert len(journal.records) == 2
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        with Checkpoint.open(path, GRID) as journal:
+            journal.append(_record(0))
+        lines = path.read_text().splitlines()
+        lines.insert(1, "not json at all")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            Checkpoint.open(path, GRID, resume=True)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(CheckpointError, match="not a schema"):
+            Checkpoint.open(path, GRID, resume=True)
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = Checkpoint.open(tmp_path / "sweep.ckpt", GRID)
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(CheckpointError, match="closed"):
+            journal.append(_record())
+
+
+def _assert_identical(resumed, full):
+    """The acceptance criterion: resumed merge == uninterrupted run."""
+    assert resumed.complete
+    assert resumed.signature_map() == full.signature_map()
+    assert resumed.pass_matrix() == full.pass_matrix()
+    assert resumed.checker_method_counts() == full.checker_method_counts()
+    assert [r.cell_id for r in resumed.records] == \
+        [r.cell_id for r in full.records]
+
+
+class TestResumeCampaigns:
+    def test_interrupt_at_half_then_resume_is_identical(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        full = campaign(GRID, jobs=1)
+        half = campaign(GRID, jobs=1, checkpoint=path, max_cells=2)
+        assert not half.complete and len(half.records) == 2
+        resumed = campaign(GRID, jobs=2, checkpoint=path, resume=True)
+        assert resumed.resumed_cells == 2
+        _assert_identical(resumed, full)
+
+    def test_interrupt_raised_mid_stream_then_resume(self, tmp_path):
+        # A KeyboardInterrupt delivered inside the progress callback: the
+        # journal keeps every cell that completed before the interrupt
+        # (append happens before the callback), and resume finishes the rest.
+        path = tmp_path / "sweep.ckpt"
+        full = campaign(GRID, jobs=1)
+        seen = []
+
+        def interrupter(record):
+            seen.append(record)
+            if len(seen) == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            campaign(GRID, jobs=1, checkpoint=path, progress=interrupter)
+        with Checkpoint.open(path, GRID, resume=True) as journal:
+            assert len(journal.records) == 2
+        resumed = campaign(GRID, jobs=1, checkpoint=path, resume=True)
+        assert resumed.resumed_cells == 2
+        _assert_identical(resumed, full)
+
+    def test_crashed_cell_is_journaled_and_not_rerun(self, tmp_path):
+        # A worker exception becomes a failed record; resume replays the
+        # failure verbatim instead of re-running the cell.
+        grid = SweepGrid(scenarios=("abd_crash_minority",), seeds=(0, 1),
+                         params=(("value_size", (-1,)),))
+        path = tmp_path / "sweep.ckpt"
+        first = campaign(grid, jobs=1, checkpoint=path, max_cells=1)
+        assert first.failed == 1
+        resumed = campaign(grid, jobs=1, checkpoint=path, resume=True)
+        assert resumed.complete and resumed.failed == 2
+        assert resumed.resumed_cells == 1
+        assert resumed.records[0].failure == first.records[0].failure
+
+    def test_resume_with_nothing_left_just_replays(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        full = campaign(GRID, jobs=1, checkpoint=path)
+        again = campaign(GRID, jobs=2, checkpoint=path, resume=True)
+        assert again.resumed_cells == len(full.records)
+        _assert_identical(again, full)
+
+    def test_pooled_and_streaming_checkpoint_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        full = campaign(GRID, jobs=1, streaming=True)
+        half = campaign(GRID, jobs=2, streaming=True, checkpoint=path,
+                        max_cells=2)
+        assert not half.complete
+        resumed = campaign(GRID, jobs=2, streaming=True, checkpoint=path,
+                           resume=True)
+        _assert_identical(resumed, full)

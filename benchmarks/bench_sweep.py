@@ -74,8 +74,7 @@ def _best_of(repeats: int, run):
                key=lambda result: result.wall_clock_sec)
 
 
-def _run_arm(name: str, grid: SweepGrid, jobs: int, cores: int,
-             repeats: int) -> dict:
+def _run_arm(name: str, grid: SweepGrid, jobs: int, repeats: int) -> dict:
     """Serial + pooled campaign over one grid; gate determinism, decompose time."""
     serial = _best_of(repeats, lambda: campaign(grid, jobs=1))
     parallel = _best_of(repeats, lambda: campaign(grid, jobs=jobs))
@@ -96,19 +95,20 @@ def _run_arm(name: str, grid: SweepGrid, jobs: int, cores: int,
                            if parallel_map.get(cell) != serial_map[cell])))
 
     # Decomposition: what a perfectly-scaling pool would spend on compute
-    # (the serial wall clock divided over the cores it can really use --
-    # NOT the sum of in-worker wall clocks, which inflates under
-    # oversubscription when workers time-share a core), and what the real
-    # pool spent on top of that (task pickling, result streaming,
+    # (the serial wall clock divided over the worker processes the engine
+    # actually ran -- NOT the sum of in-worker wall clocks, which inflates
+    # under oversubscription when workers time-share a core), and what the
+    # real pool spent on top of that (task pickling, result streaming,
     # imbalance, contention).
     compute = sum(r.wall_clock_sec for r in parallel.records)
-    ideal = serial.wall_clock_sec / min(jobs, cores)
+    ideal = serial.wall_clock_sec / parallel.workers
     overhead = parallel.wall_clock_sec - parallel.pool_spinup_sec - ideal
     speedup = serial.wall_clock_sec / parallel.wall_clock_sec
     return {
         "grid": serial.grid,
         "cells": len(serial.records),
         "jobs": jobs,
+        "workers": parallel.workers,
         "chunk": parallel.chunk,
         "serial_wall_clock_sec": round(serial.wall_clock_sec, 4),
         "parallel_wall_clock_sec": round(parallel.wall_clock_sec, 4),
@@ -138,19 +138,17 @@ def test_sweep_serial_vs_parallel(quick, jobs):
                            params=LARGE_CELL_PARAMS)
 
     repeats = 1 if quick else FULL_REPEATS
-    arms = {"small_cells": _run_arm("small_cells", small_grid, jobs, cores,
-                                    repeats),
-            "large_cells": _run_arm("large_cells", large_grid, jobs, cores,
-                                    repeats)}
+    arms = {"small_cells": _run_arm("small_cells", small_grid, jobs, repeats),
+            "large_cells": _run_arm("large_cells", large_grid, jobs, repeats)}
 
     table = Table(
         f"E10: campaign wall clock decomposition, jobs={jobs}, "
         f"{cores} usable cores",
-        ["arm", "cells", "chunk", "serial s", "pooled s", "spin-up s",
-         "dispatch s", "speedup"],
+        ["arm", "cells", "workers", "chunk", "serial s", "pooled s",
+         "spin-up s", "dispatch s", "speedup"],
     )
     for name, arm in arms.items():
-        table.add_row(name, arm["cells"], arm["chunk"],
+        table.add_row(name, arm["cells"], arm["workers"], arm["chunk"],
                       arm["serial_wall_clock_sec"],
                       arm["parallel_wall_clock_sec"],
                       arm["pool_spinup_sec"],

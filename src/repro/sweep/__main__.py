@@ -249,10 +249,12 @@ def main(argv=None) -> int:
     print(result.render_matrix())
     resumed = f", {result.resumed_cells} resumed from checkpoint" \
         if result.resumed_cells else ""
+    capped = f" (capped from jobs={result.jobs})" \
+        if result.workers < result.jobs else ""
     print(f"\n{result.passed}/{len(result.records)} cells passed in "
           f"{result.wall_clock_sec:.2f}s wall "
           f"(cell time sum {sum(r.wall_clock_sec for r in result.records):.2f}s, "
-          f"chunk={result.chunk}{resumed}, "
+          f"workers={result.workers}{capped}, chunk={result.chunk}{resumed}, "
           f"checker methods {result.checker_method_counts()})")
     if not result.complete:
         print(f"campaign INCOMPLETE: {len(result.records)}/{len(specs)} cells "

@@ -13,14 +13,17 @@ The journal is guarded by a *grid fingerprint* (SHA-256 over the grid
 description plus the streaming flag): resuming with a different grid, seed
 list, parameter axis or verification mode is an explicit
 :class:`CheckpointError`, never a silent partial merge.  A final line left
-truncated by a hard kill is dropped on load (the cell simply re-runs);
-truncation anywhere else is corruption and raises.
+truncated by a hard kill is dropped on load and truncated off the file
+before appending resumes (the cell simply re-runs, and the next journaled
+record starts on its own line); truncation anywhere else is corruption and
+raises.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
 from typing import Dict, Optional, TextIO, Tuple, Union
 
@@ -84,12 +87,20 @@ class Checkpoint:
                 raise CheckpointError(
                     f"checkpoint {path} already exists; pass resume=True "
                     "(--resume) to continue it, or delete it to start over")
-            header, records = cls._load(path)
+            header, records, good_bytes = cls._load(path)
             if header.get("grid_hash") != grid_hash:
                 raise CheckpointError(
                     f"checkpoint {path} was recorded for a different "
                     "grid/streaming mode; refusing to merge (delete it or "
                     "rerun with the original --grid/--streaming flags)")
+            if good_bytes < path.stat().st_size:
+                # A tolerated partial trailing write must not stay in the
+                # file: appending after it would concatenate the next record
+                # onto the same line, silently dropping it (and poisoning
+                # every later resume once more records follow).  Cut the
+                # journal back to the last fully-parsed line; the dropped
+                # cell simply re-runs.
+                os.truncate(path, good_bytes)
             return cls(path, grid_hash, records, path.open("a", encoding="utf-8"))
         file = path.open("w", encoding="utf-8")
         header = {"kind": "sweep-checkpoint", "schema": CHECKPOINT_SCHEMA,
@@ -100,18 +111,36 @@ class Checkpoint:
         return cls(path, grid_hash, {}, file)
 
     @staticmethod
-    def _load(path: pathlib.Path) -> Tuple[dict, Dict[str, RunRecord]]:
-        """Parse a journal into its header and per-cell records.
+    def _load(path: pathlib.Path) -> Tuple[dict, Dict[str, RunRecord], int]:
+        """Parse a journal into its header, records and good byte length.
 
-        A malformed *final* line is tolerated and dropped -- that is
-        exactly what a mid-write kill leaves behind, and the cell re-runs
-        deterministically.  Malformed lines elsewhere mean the file was
-        edited or corrupted and raise.
+        The returned offset is the end of the last fully-parsed line, so the
+        resume path can truncate a partial trailing write away before it
+        reopens the file for append.  A malformed (or newline-less) *final*
+        line is tolerated and dropped -- that is exactly what a mid-write
+        kill leaves behind, and the cell re-runs deterministically.
+        Malformed lines elsewhere mean the file was edited or corrupted and
+        raise.
         """
-        lines = path.read_text(encoding="utf-8").splitlines()
+        data = path.read_bytes()
+        # (line bytes, end offset incl. newline, newline-terminated?); a
+        # complete journal write always ends with a newline, so a missing
+        # terminator marks a partial write even when the bytes parse.
+        lines = []
+        start = 0
+        while start < len(data):
+            newline = data.find(b"\n", start)
+            if newline == -1:
+                lines.append((data[start:], len(data), False))
+                break
+            lines.append((data[start:newline], newline + 1, True))
+            start = newline + 1
         try:
-            header = json.loads(lines[0])
-        except (json.JSONDecodeError, IndexError):
+            raw, good_bytes, terminated = lines[0]
+            if not terminated:
+                raise ValueError("header write was interrupted")
+            header = json.loads(raw)
+        except (ValueError, IndexError):
             raise CheckpointError(
                 f"checkpoint {path} has no readable header line") from None
         if header.get("kind") != "sweep-checkpoint" or \
@@ -120,20 +149,26 @@ class Checkpoint:
                 f"checkpoint {path} is not a schema-{CHECKPOINT_SCHEMA} "
                 "sweep checkpoint")
         records: Dict[str, RunRecord] = {}
-        for number, line in enumerate(lines[1:], start=2):
-            if not line.strip():
+        for number, (raw, end, terminated) in enumerate(lines[1:], start=2):
+            if not raw.strip():
                 continue
             try:
-                payload = json.loads(line)
+                if not terminated:
+                    raise ValueError("record write was interrupted")
+                payload = json.loads(raw)
                 record = RunRecord.from_json(payload["record"])
-            except (json.JSONDecodeError, KeyError, TypeError):
+            except (ValueError, KeyError, TypeError, AttributeError):
+                # ValueError covers json.JSONDecodeError and UnicodeDecodeError
+                # (both subclasses); KeyError/TypeError/AttributeError cover
+                # valid JSON whose payload is not a RunRecord rendering.
                 if number == len(lines):
-                    break  # interrupted mid-write: the cell just re-runs
+                    break  # interrupted mid-write: truncated away on reopen
                 raise CheckpointError(
                     f"checkpoint {path} line {number} is corrupt (not a "
                     "trailing partial write); refusing to resume") from None
             records[record.cell_id] = record
-        return header, records
+            good_bytes = end
+        return header, records, good_bytes
 
     def append(self, record: RunRecord) -> None:
         """Journal one completed cell (flushed immediately)."""

@@ -246,7 +246,9 @@ def campaign(grid: SweepGrid, jobs: int = 1,
 
     ``jobs=1`` runs serially in-process (no pool, no pickling); ``jobs>1``
     fans *batches* of cells out over a persistent ``multiprocessing`` pool
-    of warm workers.  ``chunk`` pins the cells-per-task batch size; the
+    of warm workers, sized ``min(jobs, pending cells, usable_cores())`` and
+    recorded as ``SweepResult.workers`` so reports reflect the pool that
+    actually ran.  ``chunk`` pins the cells-per-task batch size; the
     default measures the first cell (run through the pool, so the timing is
     a real warm-worker number) and sizes batches via :func:`auto_chunk`.
     Batches stream back through ``imap_unordered``, so journaling, progress
@@ -303,6 +305,7 @@ def campaign(grid: SweepGrid, jobs: int = 1,
 
         pool_spinup = 0.0
         used_chunk = chunk if chunk is not None else 1
+        used_workers = 1
         if jobs == 1 or not pending:
             for spec in pending:
                 emit(execute_run(spec, streaming=streaming))
@@ -323,9 +326,11 @@ def campaign(grid: SweepGrid, jobs: int = 1,
                 # cell -- so a --check-serial gate genuinely compares pooled
                 # against serial execution.  Worker processes are capped at
                 # usable_cores(): cells are pure CPU, so oversubscribing a
-                # host buys scheduler contention, not parallelism.
-                workers = max(1, min(jobs, len(pending), usable_cores()))
-                pool_ctx = ctx.Pool(processes=workers,
+                # host buys scheduler contention, not parallelism.  The cap
+                # is recorded as SweepResult.workers so a --jobs 16 report
+                # on an 8-core host says which pool size actually ran.
+                used_workers = max(1, min(jobs, len(pending), usable_cores()))
+                pool_ctx = ctx.Pool(processes=used_workers,
                                     initializer=_warm_worker)
             finally:
                 gc.unfreeze()
@@ -351,7 +356,8 @@ def campaign(grid: SweepGrid, jobs: int = 1,
                    if spec.cell_id in records_by_cell]
         return SweepResult(grid=grid.describe(), jobs=jobs, records=ordered,
                            wall_clock_sec=time.perf_counter() - start,
-                           chunk=used_chunk, pool_spinup_sec=pool_spinup,
+                           chunk=used_chunk, workers=used_workers,
+                           pool_spinup_sec=pool_spinup,
                            resumed_cells=resumed,
                            complete=len(ordered) == len(specs))
     finally:

@@ -118,12 +118,15 @@ class RunRecord:
 class SweepResult:
     """The aggregated outcome of one campaign.
 
-    ``chunk`` is the cells-per-worker-task batch size the engine used
-    (1 when serial), ``pool_spinup_sec`` the measured pool start-up cost,
-    ``resumed_cells`` how many cells were replayed from a checkpoint
-    journal instead of executed, and ``complete`` whether every cell of
-    the grid has a record (``False`` after an interrupted / ``max_cells``-
-    truncated campaign).
+    ``jobs`` is the worker count the caller *asked* for; ``workers`` the
+    pool size the engine actually used (capped at ``usable_cores()`` and
+    the pending-cell count; 1 when the campaign ran serially), so a report
+    for ``--jobs 16`` on an 8-core host honestly says 8.  ``chunk`` is the
+    cells-per-worker-task batch size the engine used (1 when serial),
+    ``pool_spinup_sec`` the measured pool start-up cost, ``resumed_cells``
+    how many cells were replayed from a checkpoint journal instead of
+    executed, and ``complete`` whether every cell of the grid has a record
+    (``False`` after an interrupted / ``max_cells``-truncated campaign).
     """
 
     grid: Dict[str, object]
@@ -131,6 +134,7 @@ class SweepResult:
     records: List[RunRecord]
     wall_clock_sec: float
     chunk: int = 1
+    workers: int = 1
     pool_spinup_sec: float = 0.0
     resumed_cells: int = 0
     complete: bool = True
@@ -188,6 +192,7 @@ class SweepResult:
         return {
             "grid": self.grid,
             "jobs": self.jobs,
+            "workers": self.workers,
             "chunk": self.chunk,
             "complete": self.complete,
             "resumed_cells": self.resumed_cells,

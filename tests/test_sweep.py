@@ -221,6 +221,18 @@ class TestCampaign:
         assert result.chunk >= 1
         assert result.pool_spinup_sec >= 0.0
 
+    def test_workers_records_effective_pool_size(self):
+        # A --jobs 16 request on a smaller host must not report 16: the
+        # engine caps the pool at usable_cores() (and the pending cells)
+        # and records what it actually started.
+        serial = campaign(self.GRID, jobs=1)
+        assert serial.workers == 1
+        pooled = campaign(self.GRID, jobs=16)
+        assert pooled.jobs == 16
+        assert pooled.workers == \
+            min(16, len(self.GRID.expand()), usable_cores())
+        assert pooled.to_json()["workers"] == pooled.workers
+
     def test_invalid_chunk_rejected(self):
         with pytest.raises(ValueError, match="chunk"):
             campaign(self.GRID, jobs=2, chunk=0)

@@ -105,6 +105,52 @@ class TestCheckpointFile:
         with Checkpoint.open(path, GRID, resume=True) as journal:
             assert len(journal.records) == 2
 
+    def test_resume_truncates_partial_write_before_appending(self, tmp_path):
+        # The failure mode a hard kill sets up: resuming over a partial
+        # trailing line must not concatenate the next record onto it (which
+        # silently dropped the first post-resume record and made every
+        # later resume fail on the merged mid-file line).
+        path = tmp_path / "sweep.ckpt"
+        with Checkpoint.open(path, GRID) as journal:
+            journal.append(_record(0))
+        with path.open("a") as file:
+            file.write('{"kind": "record", "record": {"scena')
+        with Checkpoint.open(path, GRID, resume=True) as journal:
+            assert len(journal.records) == 1
+            journal.append(_record(1))
+            journal.append(_record(2))
+        # Every line is whole JSON again (the partial write was truncated
+        # off before appending)...
+        for line in path.read_text().splitlines():
+            json.loads(line)
+        # ...so a further resume replays every journaled record.
+        with Checkpoint.open(path, GRID, resume=True) as journal:
+            assert len(journal.records) == 3
+
+    def test_bad_record_payload_final_line_is_dropped(self, tmp_path):
+        # Valid JSON whose payload is not a RunRecord rendering (a params
+        # field of the wrong type) is tolerated as a trailing partial
+        # write, not an unhandled traceback.
+        path = tmp_path / "sweep.ckpt"
+        with Checkpoint.open(path, GRID) as journal:
+            journal.append(_record(0))
+        with path.open("a") as file:
+            file.write('{"kind": "record", "record": '
+                       '{"scenario": "x", "seed": 0, "params": "zap"}}\n')
+        with Checkpoint.open(path, GRID, resume=True) as journal:
+            assert len(journal.records) == 1
+
+    def test_bad_record_payload_middle_line_raises(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        with Checkpoint.open(path, GRID) as journal:
+            journal.append(_record(0))
+        lines = path.read_text().splitlines()
+        lines.insert(1, '{"kind": "record", "record": '
+                        '{"scenario": "x", "seed": 0, "params": "zap"}}')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            Checkpoint.open(path, GRID, resume=True)
+
     def test_corrupt_middle_line_raises(self, tmp_path):
         path = tmp_path / "sweep.ckpt"
         with Checkpoint.open(path, GRID) as journal:
@@ -182,6 +228,22 @@ class TestResumeCampaigns:
         assert resumed.complete and resumed.failed == 2
         assert resumed.resumed_cells == 1
         assert resumed.records[0].failure == first.records[0].failure
+
+    def test_resume_over_partial_write_matches_uninterrupted(self, tmp_path):
+        # End-to-end hard-kill shape: campaign dies mid-journal-write at
+        # ~50%, is resumed (re-running the partial cell), and resumed once
+        # more -- both merges equal the uninterrupted run.
+        path = tmp_path / "sweep.ckpt"
+        full = campaign(GRID, jobs=1)
+        campaign(GRID, jobs=1, checkpoint=path, max_cells=2)
+        with path.open("a") as file:
+            file.write('{"kind": "record", "record": {"scena')
+        resumed = campaign(GRID, jobs=1, checkpoint=path, resume=True)
+        assert resumed.resumed_cells == 2
+        _assert_identical(resumed, full)
+        again = campaign(GRID, jobs=1, checkpoint=path, resume=True)
+        assert again.resumed_cells == len(full.records)
+        _assert_identical(again, full)
 
     def test_resume_with_nothing_left_just_replays(self, tmp_path):
         path = tmp_path / "sweep.ckpt"

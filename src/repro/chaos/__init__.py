@@ -17,7 +17,7 @@ The three layers:
   :class:`Reconfigure` action, which fires a live migration from a
   schedule so reconfigurations interleave with faults at exact times.
 * :mod:`repro.chaos.schedule` -- the schedule DSL (:class:`At`,
-  :class:`During`, :class:`Schedule`).
+  :class:`During`, :class:`Stochastic`, :class:`Schedule`).
 * :mod:`repro.chaos.engine`   -- :class:`ChaosEngine`, which resolves
   process names, arms schedules on the simulator and keeps a deterministic
   log of every injected fault.
@@ -38,20 +38,24 @@ schedules live in :mod:`repro.workloads.scenarios`.
 
 from repro.chaos.engine import ChaosEngine
 from repro.chaos.faults import (
+    CpuPressure,
     Crash,
+    DiskFull,
     Drop,
     Duplicate,
     Fault,
     Heal,
     Isolate,
     LatencySpike,
+    MemoryPressure,
     Partition,
+    QueueExhaustion,
     Reconfigure,
     Reorder,
     Restart,
     SlowServer,
 )
-from repro.chaos.schedule import At, During, Schedule
+from repro.chaos.schedule import At, During, Schedule, Stochastic
 
 __all__ = [
     "ChaosEngine",
@@ -67,7 +71,12 @@ __all__ = [
     "Reorder",
     "LatencySpike",
     "SlowServer",
+    "CpuPressure",
+    "MemoryPressure",
+    "DiskFull",
+    "QueueExhaustion",
     "At",
     "During",
+    "Stochastic",
     "Schedule",
 ]

@@ -17,6 +17,7 @@ the chaos log doubles as a determinism witness for tests.
 from __future__ import annotations
 
 import random
+from collections import deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from repro.common.errors import SimulationError
@@ -28,6 +29,53 @@ from repro.chaos.schedule import Schedule
 
 #: Shorthand prefixes accepted in fault targets: ``s3`` = ``server-3`` etc.
 _SHORTHAND = {"s": "server", "w": "writer", "r": "reader", "g": "reconfigurer"}
+
+#: How many recent chaos-log entries the bounded ring retains.  Scripted
+#: schedules record a handful of lines; per-message stochastic triggers at
+#: 10^6-op scale would otherwise grow the log without bound and break the
+#: streaming pipeline's O(open-window) memory guarantee.
+LOG_RECENT = 256
+
+
+#: Quantization step for effective gate rates.  Gates at the same seed
+#: share one coin stream, so two runs whose rates quantize to the same
+#: step are byte-identical -- the pass/fail oracle a ``fault_rate`` sweep
+#: bisects is a *step function* of the rate, and frontier probes landing
+#: anywhere inside a step agree deterministically instead of sampling
+#: fresh micro-noise at every float.
+RATE_RESOLUTION = 1.0 / 64.0
+
+
+class StochasticGate:
+    """A dedicated Bernoulli stream gating one :class:`~repro.chaos.schedule.Stochastic` entry.
+
+    Each gate owns its own seeded RNG (derived from the engine seed and a
+    per-engine gate counter), so gated per-message draws never perturb the
+    engine RNG that scripted faults consume -- superimposing a stochastic
+    background on a scripted schedule leaves the scripted coin flips
+    byte-identical.
+
+    The nominal ``rate`` is quantized to :data:`RATE_RESOLUTION` steps
+    (round-to-nearest), which makes runs piecewise-constant in the rate:
+    the coin stream does not depend on the rate, so every rate inside one
+    step fires on exactly the same draws.
+    """
+
+    __slots__ = ("rate", "effective_rate", "rng", "triggers")
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        self.rate = rate
+        self.effective_rate = round(rate / RATE_RESOLUTION) * RATE_RESOLUTION
+        self.rng = rng
+        #: How many times this gate fired (for reports; not part of signatures).
+        self.triggers = 0
+
+    def fires(self) -> bool:
+        """Draw one Bernoulli trial; ``True`` lets the gated hook act."""
+        if self.rng.random() < self.effective_rate:
+            self.triggers += 1
+            return True
+        return False
 
 
 class ChaosEngine:
@@ -52,9 +100,15 @@ class ChaosEngine:
     def __init__(self, network: Network, seed: Union[int, str] = 0) -> None:
         self.network = network
         self.sim = network.sim
+        self.seed = seed
         self.rng = random.Random(seed)
-        #: Timestamped, time-ordered log of every fault application.
-        self.log: List[Tuple[float, str]] = []
+        #: Timestamped, time-ordered log of recent fault applications: a
+        #: bounded ring (plus total/dropped counters) so per-message
+        #: stochastic triggers stay O(1) in memory at any scale.
+        self.log: "deque[Tuple[float, str]]" = deque(maxlen=LOG_RECENT)
+        #: Total entries ever recorded / entries evicted from the ring.
+        self.log_total = 0
+        self.log_dropped = 0
         #: Currently active window faults (one entry per active start, so a
         #: fault reused by overlapping schedule windows appears once per
         #: window and each stop retires exactly one activation).
@@ -72,6 +126,12 @@ class ChaosEngine:
         self._hooks: Dict[int, List[List[Tuple[str, object]]]] = {}
         # Collects the hooks installed by the fault.start() call in flight.
         self._pending_install: Optional[List[Tuple[str, object]]] = None
+        # Bernoulli gates handed out to Stochastic schedule entries, in
+        # creation (= arming) order; the counter seeds each gate's RNG.
+        self.gates: List[StochasticGate] = []
+        # The gate of the Stochastic activation in flight: while set, every
+        # hook a fault installs is wrapped behind per-decision gate draws.
+        self._active_gate: Optional[StochasticGate] = None
 
     # ------------------------------------------------------------ resolution
     def resolve(self, target: Target) -> ProcessId:
@@ -115,6 +175,24 @@ class ChaosEngine:
         self.sim.schedule_at(time, lambda: self._stop(fault),
                              label=f"chaos stop {fault.describe()}")
 
+    # ------------------------------------------------------- stochastic gates
+    def new_gate(self, rate: float) -> StochasticGate:
+        """Create a Bernoulli gate with its own seed-derived RNG stream.
+
+        The stream is ``Random(f"{seed!r}:gate:{n}")`` for the ``n``-th gate
+        created on this engine, so gates are mutually independent, never
+        touch :attr:`rng`, and reproduce exactly across processes.
+        """
+        gate = StochasticGate(rate, random.Random(f"{self.seed!r}:gate:{len(self.gates)}"))
+        self.gates.append(gate)
+        return gate
+
+    def start_stochastic_at(self, time: float, fault: Fault,
+                            gate: StochasticGate) -> None:
+        """Schedule a gated start of a window fault (see :class:`StochasticGate`)."""
+        self.sim.schedule_at(time, lambda: self._start_stochastic(fault, gate),
+                             label=f"chaos start stochastic {fault.describe()}")
+
     # ------------------------------------------------------- fault lifecycle
     def _activate(self, fault: Fault, run) -> None:
         """Run a fault's start/apply, grouping the hooks it installs."""
@@ -135,6 +213,18 @@ class ChaosEngine:
     def _start(self, fault: Fault) -> None:
         self.record(f"start {fault.describe()}")
         self._activate(fault, lambda: fault.start(self))
+        self.active.append(fault)
+
+    def _start_stochastic(self, fault: Fault, gate: StochasticGate) -> None:
+        # Log the *effective* (quantized) rate: two runs whose nominal
+        # rates land in the same RATE_RESOLUTION step are the same run,
+        # and their chaos logs must be byte-identical too.
+        self.record(f"start {fault.describe()} ~rate={gate.effective_rate:g}")
+        self._active_gate = gate
+        try:
+            self._activate(fault, lambda: fault.start(self))
+        finally:
+            self._active_gate = None
         self.active.append(fault)
 
     def _stop(self, fault: Fault) -> None:
@@ -179,12 +269,37 @@ class ChaosEngine:
         return errors
 
     def record(self, text: str) -> None:
-        """Append a timestamped line to the chaos log."""
+        """Append a timestamped line to the (bounded) chaos log."""
+        self.log_total += 1
+        if len(self.log) == LOG_RECENT:
+            self.log_dropped += 1
         self.log.append((self.sim.now, text))
 
     def describe_log(self) -> str:
-        """Human-readable rendering of the chaos log."""
-        return "\n".join(f"{t:8.2f}  {text}" for t, text in self.log)
+        """Human-readable rendering of the chaos log (recent ring).
+
+        When per-message stochastic triggers have evicted older entries, an
+        elision header reports how many; otherwise the rendering is exactly
+        the full log, line for line.
+        """
+        lines = [f"{t:8.2f}  {text}" for t, text in self.log]
+        if self.log_dropped:
+            lines.insert(0, f"  [...]   {self.log_dropped} earlier entries elided "
+                            f"({self.log_total} recorded)")
+        return "\n".join(lines)
+
+    def log_signature(self) -> Tuple[Tuple[float, str], ...]:
+        """Deterministic tuple rendering of the log, for run signatures.
+
+        With nothing evicted this is byte-identical to ``tuple(log)`` over
+        the previous unbounded list, so pre-existing golden signatures are
+        unchanged; once the ring overflows, an elision marker carrying the
+        exact drop/total counters keeps the signature a faithful witness.
+        """
+        if not self.log_dropped:
+            return tuple(self.log)
+        marker = (-1.0, f"[{self.log_dropped} entries elided; {self.log_total} recorded]")
+        return (marker, *self.log)
 
     # ----------------------------------------------------------- hook wiring
     def _register_hook(self, fault: Fault, entry: Tuple[str, object]) -> None:
@@ -194,19 +309,71 @@ class ChaosEngine:
             self._hooks.setdefault(id(fault), []).append([entry])
 
     def install_drop_filter(self, fault: Fault, rule) -> None:
-        """Install a drop filter on behalf of ``fault`` (removed on stop)."""
+        """Install a drop filter on behalf of ``fault`` (removed on stop).
+
+        Inside a :class:`~repro.chaos.schedule.Stochastic` activation the
+        rule is wrapped behind a per-message gate draw: the gate flips its
+        coin first (so the draw sequence is independent of the rule's own
+        scope matching), and only a fired gate consults the rule.
+        """
+        gate = self._active_gate
+        if gate is not None:
+            inner = rule
+            def rule(src, dest, message, _gate=gate, _inner=inner):
+                return _gate.fires() and _inner(src, dest, message)
         self.network.add_drop_filter(rule)
         self._register_hook(fault, ("drop", rule))
 
     def install_delay_adjuster(self, fault: Fault, adjuster) -> None:
-        """Install a delay adjuster on behalf of ``fault`` (removed on stop)."""
+        """Install a delay adjuster on behalf of ``fault`` (removed on stop).
+
+        Under a stochastic gate, messages whose gate draw does not fire keep
+        their sampled delay untouched.
+        """
+        gate = self._active_gate
+        if gate is not None:
+            inner = adjuster
+            def adjuster(src, dest, message, delay, _gate=gate, _inner=inner):
+                if not _gate.fires():
+                    return delay
+                return _inner(src, dest, message, delay)
         self.network.add_delay_adjuster(adjuster)
         self._register_hook(fault, ("delay", adjuster))
 
     def install_duplicator(self, fault: Fault, rule) -> None:
-        """Install a duplication rule on behalf of ``fault`` (removed on stop)."""
+        """Install a duplication rule on behalf of ``fault`` (removed on stop).
+
+        Under a stochastic gate, messages whose gate draw does not fire get
+        zero extra copies.
+        """
+        gate = self._active_gate
+        if gate is not None:
+            inner = rule
+            def rule(src, dest, message, _gate=gate, _inner=inner):
+                if not _gate.fires():
+                    return 0
+                return _inner(src, dest, message)
         self.network.add_duplicator(rule)
         self._register_hook(fault, ("dup", rule))
+
+    def install_governor_rule(self, fault: Fault, governor, rule) -> None:
+        """Install a server-admission rule on behalf of ``fault`` (removed on stop).
+
+        ``governor`` is the target server's
+        :class:`~repro.chaos.resources.ResourceGovernor`; the rule maps
+        ``(server, message, now)`` to a refusal reason (or ``None`` to
+        admit).  Under a stochastic gate the rule only applies to messages
+        whose gate draw fires.
+        """
+        gate = self._active_gate
+        if gate is not None:
+            inner = rule
+            def rule(server, message, now, _gate=gate, _inner=inner):
+                if not _gate.fires():
+                    return None
+                return _inner(server, message, now)
+        governor.rules.append(rule)
+        self._register_hook(fault, ("governor", (governor, rule)))
 
     def remove_hooks(self, fault: Fault) -> None:
         """Remove the hooks of ``fault``'s most recent activation."""
@@ -218,10 +385,14 @@ class ChaosEngine:
                 self.network.remove_drop_filter(hook)
             elif kind == "delay":
                 self.network.remove_delay_adjuster(hook)
+            elif kind == "governor":
+                governor, rule = hook
+                if rule in governor.rules:
+                    governor.rules.remove(rule)
             else:
                 self.network.remove_duplicator(hook)
         if not groups:
             del self._hooks[id(fault)]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<ChaosEngine active={len(self.active)} log={len(self.log)}>"
+        return f"<ChaosEngine active={len(self.active)} log={self.log_total}>"

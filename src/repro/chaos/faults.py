@@ -13,7 +13,9 @@ Two kinds of fault exist:
   instantaneously via :meth:`Fault.apply`.
 * **Window faults** (:class:`Partition`, :class:`Isolate`, :class:`Drop`,
   :class:`Duplicate`, :class:`Reorder`, :class:`LatencySpike`,
-  :class:`SlowServer`) are active between :meth:`Fault.start` and
+  :class:`SlowServer`, and the resource-exhaustion family
+  :class:`CpuPressure`, :class:`MemoryPressure`, :class:`DiskFull`,
+  :class:`QueueExhaustion`) are active between :meth:`Fault.start` and
   :meth:`Fault.stop`; scheduling them with :class:`~repro.chaos.schedule.At`
   starts them permanently (until a :class:`Heal`).
 
@@ -34,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, FrozenSet, Iterable, Optional, Tuple, TYPE_CHECKING, Union
 
-from repro.common.ids import ProcessId
+from repro.common.ids import ProcessId, Role
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.chaos.engine import ChaosEngine
@@ -399,6 +401,169 @@ class SlowServer(Fault):
             return delay
 
         engine.install_delay_adjuster(self, adjust)
+
+    def stop(self, engine: "ChaosEngine") -> None:
+        engine.remove_hooks(self)
+
+
+# --------------------------------------------------------- resource pressure
+def _resolve_servers(engine: "ChaosEngine",
+                     targets: Tuple[Target, ...]) -> "FrozenSet[ProcessId]":
+    """Resolve targets, defaulting (empty tuple) to every registered server."""
+    if targets:
+        return engine.resolve_all(targets)
+    return frozenset(pid for pid in engine.network.processes
+                     if pid.role is Role.SERVER)
+
+
+@dataclass(frozen=True, eq=False)
+class CpuPressure(Fault):
+    """Gray failure: pressured servers process everything slowly.
+
+    Models CPU starvation as multiplicative processing-delay inflation on
+    every message *into* the pressured servers (``delay * factor + extra``),
+    via the existing delay-adjuster hooks -- the request sits in the run
+    queue before the handler fires.  With no targets given, every server is
+    pressured.  The servers never appear crashed, so quorums still count
+    them; under a :class:`~repro.chaos.schedule.Stochastic` entry only the
+    gated fraction of messages is slowed, which is what sporadic CPU
+    contention looks like from the network.
+    """
+
+    targets: Tuple[Target, ...]
+    factor: float
+    extra: float
+
+    def __init__(self, *targets: Target, factor: float = 3.0,
+                 extra: float = 0.0) -> None:
+        if factor < 0 or extra < 0:
+            raise ValueError("cpu-pressure factor/extra must be non-negative")
+        object.__setattr__(self, "targets", _targets(targets) if targets else ())
+        object.__setattr__(self, "factor", factor)
+        object.__setattr__(self, "extra", extra)
+
+    def describe(self) -> str:
+        scope = ", ".join(str(t) for t in self.targets) or "all servers"
+        return f"cpu_pressure({scope}, factor={self.factor}, extra={self.extra})"
+
+    def start(self, engine: "ChaosEngine") -> None:
+        pressured = _resolve_servers(engine, self.targets)
+
+        def adjust(src, dest, message, delay: float) -> float:
+            if dest in pressured:
+                return delay * self.factor + self.extra
+            return delay
+
+        engine.install_delay_adjuster(self, adjust)
+
+    def stop(self, engine: "ChaosEngine") -> None:
+        engine.remove_hooks(self)
+
+
+@dataclass(frozen=True, eq=False)
+class MemoryPressure(Fault):
+    """Bound the object-state bytes a server may hold; over budget it sheds.
+
+    While active, a data-carrying request that would push the server's
+    stored object bytes (:meth:`~repro.core.server.AresServer.storage_data_bytes`)
+    over ``budget_bytes`` is refused with an explicit NACK instead of being
+    applied -- bounded memory with explicit shedding, never silent growth.
+    Metadata-only traffic (tag queries, configuration reads, consensus)
+    always passes, so the control plane limps on while the data plane sheds.
+    """
+
+    budget_bytes: int
+    targets: Tuple[Target, ...]
+
+    def __init__(self, budget_bytes: int, *targets: Target) -> None:
+        if budget_bytes < 0:
+            raise ValueError("memory budget must be non-negative")
+        object.__setattr__(self, "budget_bytes", int(budget_bytes))
+        object.__setattr__(self, "targets", _targets(targets) if targets else ())
+
+    def describe(self) -> str:
+        scope = ", ".join(str(t) for t in self.targets) or "all servers"
+        return f"memory_pressure({scope}, budget={self.budget_bytes}B)"
+
+    def start(self, engine: "ChaosEngine") -> None:
+        from repro.chaos.resources import ensure_governor, memory_budget_rule
+        for pid in sorted(_resolve_servers(engine, self.targets)):
+            server = engine.network.process(pid)
+            engine.install_governor_rule(
+                self, ensure_governor(server, engine),
+                memory_budget_rule(self.budget_bytes))
+
+    def stop(self, engine: "ChaosEngine") -> None:
+        engine.remove_hooks(self)
+
+
+@dataclass(frozen=True, eq=False)
+class DiskFull(Fault):
+    """The persistence layer is out of space: every data write is refused.
+
+    Write-persistence failures surface as retriable NACKs carrying the
+    classic ``[Errno 28] No space left on device`` reason, so clients retry
+    against the remaining quorum instead of hanging.  Reads and
+    metadata-only traffic still succeed -- exactly how a full disk degrades
+    a real replica.
+    """
+
+    targets: Tuple[Target, ...]
+
+    def __init__(self, *targets: Target) -> None:
+        object.__setattr__(self, "targets", _targets(targets) if targets else ())
+
+    def describe(self) -> str:
+        scope = ", ".join(str(t) for t in self.targets) or "all servers"
+        return f"disk_full({scope})"
+
+    def start(self, engine: "ChaosEngine") -> None:
+        from repro.chaos.resources import disk_full_rule, ensure_governor
+        for pid in sorted(_resolve_servers(engine, self.targets)):
+            server = engine.network.process(pid)
+            engine.install_governor_rule(
+                self, ensure_governor(server, engine), disk_full_rule())
+
+    def stop(self, engine: "ChaosEngine") -> None:
+        engine.remove_hooks(self)
+
+
+@dataclass(frozen=True, eq=False)
+class QueueExhaustion(Fault):
+    """Bounded inflight request queues: a backed-up server refuses new work.
+
+    Each pressured server gets a deterministic queue model: an admitted
+    data-plane request occupies one of ``limit`` slots for ``service_time``
+    simulated seconds, and a request arriving with all slots busy is NACKed.
+    Control traffic (configuration reads/writes, consensus) bypasses the
+    queue so reconfiguration can still drain an overloaded configuration.
+    """
+
+    limit: int
+    service_time: float
+    targets: Tuple[Target, ...]
+
+    def __init__(self, limit: int, service_time: float = 4.0,
+                 *targets: Target) -> None:
+        if limit < 1:
+            raise ValueError("queue limit must be at least 1")
+        if service_time <= 0:
+            raise ValueError("queue service time must be positive")
+        object.__setattr__(self, "limit", int(limit))
+        object.__setattr__(self, "service_time", float(service_time))
+        object.__setattr__(self, "targets", _targets(targets) if targets else ())
+
+    def describe(self) -> str:
+        scope = ", ".join(str(t) for t in self.targets) or "all servers"
+        return f"queue_exhaustion({scope}, limit={self.limit}, service={self.service_time:g})"
+
+    def start(self, engine: "ChaosEngine") -> None:
+        from repro.chaos.resources import ensure_governor, queue_limit_rule
+        for pid in sorted(_resolve_servers(engine, self.targets)):
+            server = engine.network.process(pid)
+            engine.install_governor_rule(
+                self, ensure_governor(server, engine),
+                queue_limit_rule(self.limit, self.service_time))
 
     def stop(self, engine: "ChaosEngine") -> None:
         engine.remove_hooks(self)

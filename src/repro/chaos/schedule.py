@@ -5,7 +5,11 @@ A :class:`Schedule` is a declarative list of timed entries:
 * ``At(t, fault, ...)`` -- fire point faults (or permanently start window
   faults) at virtual time ``t``;
 * ``During(t0, t1, fault, ...)`` -- start window faults at ``t0`` and stop
-  them at ``t1``.
+  them at ``t1``;
+* ``Stochastic(t0, t1, fault, ..., rate=p)`` -- keep window faults armed on
+  ``[t0, t1)`` but gate every per-message / per-admission hook decision
+  behind an independent Bernoulli draw with probability ``p``, so scenarios
+  superimpose continuous low-grade background failure on scripted incidents.
 
 Schedules are plain data until armed on a
 :class:`~repro.chaos.engine.ChaosEngine`, which translates every entry into
@@ -86,14 +90,63 @@ class During:
         return f"during [{self.start:g}, {self.end:g}): {inner}"
 
 
+@dataclass(frozen=True)
+class Stochastic:
+    """Keep ``faults`` active on ``[start, end)``, gated by a Bernoulli rate.
+
+    Unlike :class:`During`, whose faults act on *every* matching message or
+    admission decision while the window is open, a stochastic entry draws an
+    independent Bernoulli trial (probability ``rate``) per hook decision from
+    a dedicated RNG stream the engine derives from its seed
+    (:meth:`~repro.chaos.engine.ChaosEngine.new_gate`).  Same seed, same
+    byte-identical execution; and ``rate=0.0`` arms *nothing at all*, so a
+    zero-rate entry is signature-identical to leaving it out of the schedule.
+    """
+
+    start: float
+    end: float
+    faults: Tuple[Fault, ...]
+    rate: float
+
+    def __init__(self, start: float, end: float, *faults: Fault,
+                 rate: float) -> None:
+        if start < 0:
+            raise ValueError(f"cannot schedule a fault at negative time {start}")
+        if end <= start:
+            raise ValueError(f"Stochastic window [{start}, {end}) is empty")
+        if not faults:
+            raise ValueError("Stochastic() needs at least one fault")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"Stochastic rate must be in [0, 1], got {rate}")
+        object.__setattr__(self, "start", float(start))
+        object.__setattr__(self, "end", float(end))
+        object.__setattr__(self, "faults", tuple(faults))
+        object.__setattr__(self, "rate", float(rate))
+
+    def arm(self, engine: "ChaosEngine") -> None:
+        """Arm gated starts/stops; a 0.0 rate arms nothing whatsoever."""
+        if self.rate == 0.0:
+            return
+        gate = engine.new_gate(self.rate)
+        for fault in self.faults:
+            engine.start_stochastic_at(self.start, fault, gate)
+            engine.stop_at(self.end, fault)
+
+    def describe(self) -> str:
+        """One-line rendering, e.g. ``stochastic [0, 400) rate=0.05: drop(...)``."""
+        inner = "; ".join(fault.describe() for fault in self.faults)
+        return f"stochastic [{self.start:g}, {self.end:g}) rate={self.rate:g}: {inner}"
+
+
 class Schedule:
-    """An ordered collection of :class:`At` / :class:`During` entries."""
+    """An ordered collection of :class:`At` / :class:`During` / :class:`Stochastic` entries."""
 
     def __init__(self, entries: Sequence) -> None:
         for entry in entries:
             if not hasattr(entry, "arm"):
                 raise TypeError(
-                    f"schedule entries must be At/During, got {type(entry).__name__}")
+                    f"schedule entries must be At/During/Stochastic, "
+                    f"got {type(entry).__name__}")
         self.entries: List = sorted(
             entries, key=lambda e: getattr(e, "time", getattr(e, "start", 0.0)))
 

@@ -63,6 +63,29 @@ class QuorumUnavailableError(ReproError):
     """
 
 
+class QuorumRefusedError(ReproError):
+    """Enough servers *refused* the request that the quorum cannot complete.
+
+    Servers under resource pressure (memory budget exceeded, disk full,
+    inflight queue exhausted) reply with an explicit NACK instead of
+    silently dropping the request.  When the refusals leave fewer than
+    ``threshold`` potential acceptances among the processes contacted, the
+    phase fails fast with this error -- a *retriable* condition, unlike
+    :class:`QuorumUnavailableError` which reflects fail-stop crashes.
+    """
+
+
+class RetriesExhaustedError(ReproError):
+    """A client exhausted its retry budget without completing a quorum phase.
+
+    Raised by the retry driver in :class:`~repro.sim.process.Process` after
+    ``RetryPolicy.attempts`` attempts each either timed out or were refused
+    by the contacted quorum.  Surfaces through the workload driver as an
+    operation error, so liveness checks report a clean failure instead of a
+    stalled session.
+    """
+
+
 class DecodeError(ReproError):
     """An erasure-coded value could not be reconstructed.
 

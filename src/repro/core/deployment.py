@@ -39,6 +39,7 @@ from repro.net.latency import LatencyModel, UniformLatency
 from repro.net.network import Network
 from repro.sim.core import Simulator
 from repro.sim.futures import Coroutine
+from repro.sim.process import RetryPolicy
 from repro.spec.history import History
 from repro.spec.properties import DapRecorder
 
@@ -73,6 +74,11 @@ class DeploymentSpec:
         Enable the Section 5 ARES-TREAS transfer path.
     record_dap:
         Install a :class:`~repro.spec.properties.DapRecorder` on all clients.
+    retry:
+        A :class:`~repro.sim.process.RetryPolicy` installed on every writer
+        and reader (never on reconfigurers), with jitter seeded per process
+        from ``seed``.  ``None`` -- the default -- keeps the gather path (and
+        the simulator event sequence) byte-identical to builds without retry.
     """
 
     num_servers: int = 5
@@ -88,6 +94,7 @@ class DeploymentSpec:
     consensus_delay: float = 0.0
     direct_state_transfer: bool = False
     record_dap: bool = False
+    retry: Optional["RetryPolicy"] = None
 
 
 class AresDeployment:
@@ -134,6 +141,12 @@ class AresDeployment:
                        dap_recorder=self.dap_recorder)
             for i in range(spec.num_readers)
         ]
+        if spec.retry is not None:
+            # Writers and readers only: reconfiguration drives consensus,
+            # where blind re-broadcast under the same proposal is not a
+            # safe retry unit.
+            for client in [*self.writers, *self.readers]:
+                client.enable_retries(spec.retry, seed=spec.seed)
         reconfigurer_class = (DirectTransferReconfigurer if spec.direct_state_transfer
                               else AresReconfigurer)
         self.reconfigurers: List[AresReconfigurer] = [

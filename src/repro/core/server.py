@@ -77,9 +77,25 @@ class AresServer(Process):
         #: Paxos acceptor state per consensus instance (keyed by the
         #: configuration whose successor the instance decides).
         self.acceptors: Dict[ConfigId, PaxosAcceptorState] = {}
+        #: Admission governor under injected resource pressure
+        #: (:class:`~repro.chaos.resources.ResourceGovernor`); ``None`` --
+        #: the default, a single attribute test on the dispatch path --
+        #: until a resource fault attaches one.
+        self.governor = None
 
     # -------------------------------------------------------------- dispatch
     def on_message(self, src: ProcessId, message: Message) -> None:
+        governor = self.governor
+        if governor is not None and governor.rules:
+            reason = governor.admit(message)
+            if reason is not None:
+                # Refuse loudly: an explicit NACK (instead of a silent drop)
+                # lets the client's quorum gather fail fast and retry, the
+                # gray-failure behaviour this taxonomy models.
+                if message.request_id is not None:
+                    self.send(src, reply(message, kind="SRV-NACK",
+                                         nack=True, error=reason))
+                return
         kind = message.kind
         if kind == READ_CONFIG:
             self._on_read_config(src, message)

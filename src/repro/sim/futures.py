@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
-from repro.common.errors import OperationAborted, SimulationError
+from repro.common.errors import OperationAborted, QuorumRefusedError, SimulationError
 from repro.sim.core import Simulator
 
 
@@ -117,13 +117,21 @@ class QuorumFuture(SimFuture):
     the same key are counted once: the chaos layer's message-duplication
     fault must not let one server satisfy two slots of a threshold, nor feed
     the same coded element twice to an erasure decoder.
+
+    Servers under injected resource pressure answer with explicit NACKs
+    (:meth:`add_nack`) instead of staying silent.  When ``expected`` (the
+    number of processes contacted) is given and the refusals leave fewer
+    than ``threshold`` possible acceptances, the future fails fast with
+    :class:`~repro.common.errors.QuorumRefusedError` -- a retriable
+    condition -- rather than hanging until a timeout.
     """
 
     __slots__ = ("threshold", "responses", "distinct_by", "duplicates_ignored",
-                 "_seen_keys", "_frozen_result")
+                 "_seen_keys", "_frozen_result", "expected", "nacks")
 
     def __init__(self, sim: Simulator, threshold: int, label: str = "",
-                 distinct_by: Optional[Callable[[Any], Any]] = None) -> None:
+                 distinct_by: Optional[Callable[[Any], Any]] = None,
+                 expected: Optional[int] = None) -> None:
         super().__init__(sim, label=label)
         if threshold < 0:
             raise SimulationError("quorum threshold must be non-negative")
@@ -133,6 +141,8 @@ class QuorumFuture(SimFuture):
         self.duplicates_ignored = 0
         self._seen_keys: set = set()
         self._frozen_result: Optional[List[Any]] = None
+        self.expected = expected
+        self.nacks: List[Any] = []
         if threshold == 0:
             self.set_result([])
 
@@ -152,6 +162,28 @@ class QuorumFuture(SimFuture):
         if not self.done() and len(self.responses) >= self.threshold:
             self._frozen_result = list(self.responses)
             self.set_result(self._frozen_result)
+
+    def add_nack(self, response: Any) -> None:
+        """Record one explicit refusal; may fail the future fast.
+
+        Refusals dedupe through the same ``distinct_by`` key space as
+        acceptances (one process occupies one slot, whichever way it
+        answers).  With ``expected`` known, the future fails with
+        :class:`~repro.common.errors.QuorumRefusedError` as soon as the
+        remaining non-refusing processes cannot reach the threshold.
+        """
+        if self.distinct_by is not None:
+            key = self.distinct_by(response)
+            if key in self._seen_keys:
+                self.duplicates_ignored += 1
+                return
+            self._seen_keys.add(key)
+        self.nacks.append(response)
+        if (not self.done() and self.expected is not None
+                and self.expected - len(self.nacks) < self.threshold):
+            self.set_exception(QuorumRefusedError(
+                f"{self.label or 'quorum'}: {len(self.nacks)} of {self.expected} "
+                f"contacted processes refused; threshold {self.threshold} unreachable"))
 
 
 class Timer(SimFuture):

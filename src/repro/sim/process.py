@@ -15,12 +15,18 @@ clients and servers -- is a :class:`Process` attached to a
 
 from __future__ import annotations
 
+import random
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, TYPE_CHECKING
 
-from repro.common.errors import QuorumUnavailableError
+from repro.common.errors import (
+    QuorumRefusedError,
+    QuorumUnavailableError,
+    RetriesExhaustedError,
+)
 from repro.common.ids import ProcessId
 from repro.sim.core import Simulator
-from repro.sim.futures import Coroutine, QuorumFuture, SimFuture, Timer, spawn
+from repro.sim.futures import Coroutine, QuorumFuture, SimFuture, Timer, any_of, spawn
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.message import Message
@@ -30,6 +36,46 @@ if TYPE_CHECKING:  # pragma: no cover
 def _responder(response):
     """Dedup key for quorum gathers: the (server id, reply) pair's sender."""
     return response[0]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
+
+    A process with a policy installed (:meth:`Process.enable_retries`) turns
+    each quorum gather into up to ``attempts`` tries: an attempt that times
+    out after ``timeout`` virtual seconds, or fails fast because servers
+    refused (:class:`~repro.common.errors.QuorumRefusedError`), is abandoned
+    and re-issued under a fresh request id after a backoff of
+    ``base_delay * multiplier**(attempt-1) * (1 + jitter * U)`` where ``U``
+    is drawn from the process's dedicated retry RNG -- seeded, so two runs
+    with the same seed back off identically.  Exhausting the budget raises
+    :class:`~repro.common.errors.RetriesExhaustedError` into the waiting
+    protocol coroutine, which surfaces as a clean operation error.
+
+    Retrying at the gather level is safe for the register protocols: server
+    writes apply only if the incoming tag is newer, so a re-broadcast that
+    races a late reply can never double-apply a tag.
+    """
+
+    attempts: int = 4
+    timeout: float = 60.0
+    base_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("retry policy needs at least one attempt")
+        if self.timeout <= 0 or self.base_delay < 0:
+            raise ValueError("retry timeout must be positive and base delay non-negative")
+        if self.multiplier < 1.0 or self.jitter < 0:
+            raise ValueError("retry multiplier must be >= 1 and jitter non-negative")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """The (jittered) delay before re-issuing attempt ``attempt`` (1-based)."""
+        base = self.base_delay * self.multiplier ** (attempt - 1)
+        return base * (1.0 + self.jitter * rng.random())
 
 
 class Process:
@@ -54,6 +100,15 @@ class Process:
         # replies can be routed back to the phase that issued the request.
         self._pending_gathers: Dict[int, QuorumFuture] = {}
         self._next_request_id = 0
+        # Retry is strictly opt-in: with no policy installed the gather path
+        # (and the simulator event sequence) is byte-identical to older
+        # builds -- enabling it schedules per-attempt timeout timers, which
+        # shifts event sequence numbers even when no retry ever fires.
+        self.retry_policy: Optional[RetryPolicy] = None
+        self._retry_rng: Optional[random.Random] = None
+        #: How many gather attempts this process re-issued / NACKs it received.
+        self.retries = 0
+        self.nacks_received = 0
         network.register(self)
 
     # ----------------------------------------------------------------- state
@@ -104,9 +159,24 @@ class Process:
         # First give pending quorum gathers a chance to consume the reply.
         request_id = getattr(message, "in_reply_to", None)
         if request_id is not None and request_id in self._pending_gathers:
-            self._pending_gathers[request_id].add_response((src, message))
+            gather = self._pending_gathers[request_id]
+            if message.get("nack"):
+                self.nacks_received += 1
+                gather.add_nack((src, message))
+            else:
+                gather.add_response((src, message))
             return
         self.on_message(src, message)
+
+    def enable_retries(self, policy: RetryPolicy, seed: object = 0) -> None:
+        """Install ``policy`` with a dedicated per-process retry RNG.
+
+        The RNG stream is ``Random(f"retry-{seed}-{name}")``, so backoff
+        jitter is deterministic per (seed, process) and independent of the
+        simulator, chaos and workload streams.
+        """
+        self.retry_policy = policy
+        self._retry_rng = random.Random(f"retry-{seed}-{self.pid.name}")
 
     def on_message(self, src: ProcessId, message: "Message") -> None:
         """Handle an unsolicited message.  Subclasses override this."""
@@ -149,13 +219,29 @@ class Process:
         QuorumUnavailableError
             Immediately, if fewer than ``threshold`` destinations are alive,
             since in a reliable-channel crash-stop model the gather could
-            then never complete.
+            then never complete.  With a retry policy installed
+            (:meth:`enable_retries`) the error is retried and surfaces
+            through the returned future instead.
         """
         servers = list(servers)
+        if self.retry_policy is None:
+            return self._open_broadcast(servers, make_message, threshold, label)[1]
+        return self._gather_with_retries(
+            lambda: self._open_broadcast(servers, make_message, threshold, label),
+            label)
+
+    def _open_broadcast(
+        self,
+        servers: List[ProcessId],
+        make_message: Callable[[int], "Message"],
+        threshold: int,
+        label: str,
+    ) -> "tuple[int, QuorumFuture]":
+        """One broadcast attempt under a fresh request id (the retry unit)."""
         request_id = self.new_request_id()
         gather = QuorumFuture(self.sim, threshold=threshold,
                               label=f"{self.pid}:{label}#{request_id}",
-                              distinct_by=_responder)
+                              distinct_by=_responder, expected=len(servers))
         alive = [s for s in servers if not self.network.is_crashed(s)]
         if len(alive) < threshold:
             raise QuorumUnavailableError(
@@ -170,7 +256,7 @@ class Process:
         gather.add_done_callback(cleanup)
         for server in servers:
             self.send(server, make_message(request_id))
-        return gather
+        return request_id, gather
 
     def open_gather(self, threshold: int, label: str = "gather") -> "tuple[int, QuorumFuture]":
         """Register a reply-gathering future without sending any request.
@@ -201,10 +287,22 @@ class Process:
         id; used by erasure-coded ``put-data`` where every server receives its
         own coded element.
         """
+        if self.retry_policy is None:
+            return self._open_scatter(messages, threshold, label)[1]
+        return self._gather_with_retries(
+            lambda: self._open_scatter(messages, threshold, label), label)
+
+    def _open_scatter(
+        self,
+        messages: Dict[ProcessId, Callable[[int], "Message"]],
+        threshold: int,
+        label: str,
+    ) -> "tuple[int, QuorumFuture]":
+        """One scatter attempt under a fresh request id (the retry unit)."""
         request_id = self.new_request_id()
         gather = QuorumFuture(self.sim, threshold=threshold,
                               label=f"{self.pid}:{label}#{request_id}",
-                              distinct_by=_responder)
+                              distinct_by=_responder, expected=len(messages))
         alive = [s for s in messages if not self.network.is_crashed(s)]
         if len(alive) < threshold:
             raise QuorumUnavailableError(
@@ -215,7 +313,56 @@ class Process:
         gather.add_done_callback(lambda _f: self._pending_gathers.pop(request_id, None))
         for server, make_message in messages.items():
             self.send(server, make_message(request_id))
-        return gather
+        return request_id, gather
+
+    # ---------------------------------------------------------------- retries
+    def _gather_with_retries(
+        self,
+        open_attempt: Callable[[], "tuple[int, QuorumFuture]"],
+        label: str,
+    ) -> SimFuture:
+        """Drive ``open_attempt`` under the installed :class:`RetryPolicy`.
+
+        Returns the completion future of a retry coroutine owned by this
+        process (so a crash aborts the loop like any protocol coroutine).
+        Each attempt runs under a *fresh* request id; an abandoned attempt's
+        pending gather is unregistered, so straggler replies from it fall
+        through to :meth:`on_message` as unsolicited no-ops.
+        """
+        return self.spawn(self._retry_driver(open_attempt, label),
+                          label=f"{self.pid}:{label}:retry").completion
+
+    def _retry_driver(self, open_attempt, label: str):
+        policy = self.retry_policy
+        rng = self._retry_rng
+        last_failure: Optional[BaseException] = None
+        for attempt in range(1, policy.attempts + 1):
+            if attempt > 1:
+                self.retries += 1
+                yield self.sleep(policy.backoff(attempt - 1, rng))
+            try:
+                request_id, gather = open_attempt()
+            except (QuorumRefusedError, QuorumUnavailableError) as error:
+                last_failure = error
+                continue
+            timer = Timer(self.sim, policy.timeout, label=f"{label}:attempt-timeout")
+            try:
+                yield any_of(self.sim, [gather, timer], label=f"{label}:attempt")
+            except (QuorumRefusedError, QuorumUnavailableError) as error:
+                timer.cancel()
+                last_failure = error
+                continue
+            if gather.done():
+                timer.cancel()
+                return gather.result()
+            # Timed out: abandon the attempt so late replies are ignored.
+            self._pending_gathers.pop(request_id, None)
+            last_failure = QuorumUnavailableError(
+                f"{self.pid}: {label} attempt {attempt} timed out "
+                f"after {policy.timeout:g}")
+        raise RetriesExhaustedError(
+            f"{self.pid}: {label} failed after {policy.attempts} attempts: "
+            f"{last_failure!r}")
 
     # ------------------------------------------------------------ coroutines
     def spawn(self, generator: Generator, label: str = "") -> Coroutine:

@@ -34,6 +34,7 @@ from repro.net.latency import LatencyModel, UniformLatency
 from repro.net.network import Network
 from repro.sim.core import Simulator
 from repro.sim.futures import Coroutine
+from repro.sim.process import RetryPolicy
 from repro.spec.history import History
 from repro.spec.properties import DapRecorder
 from repro.store.client import StoreClient
@@ -63,6 +64,10 @@ class StoreSpec:
         Simulator seed.
     record_dap:
         Install a :class:`~repro.spec.properties.DapRecorder` on all clients.
+    retry:
+        A :class:`~repro.sim.process.RetryPolicy` installed on every writer
+        and reader (never on reconfigurers); ``None`` keeps the gather path
+        byte-identical to builds without retry.
     """
 
     shards: Tuple[ShardSpec, ...] = (ShardSpec(), ShardSpec())
@@ -72,6 +77,7 @@ class StoreSpec:
     latency: Optional[LatencyModel] = None
     seed: int = 0
     record_dap: bool = False
+    retry: Optional[RetryPolicy] = None
 
 
 class StoreDeployment:
@@ -121,6 +127,9 @@ class StoreDeployment:
                         history=self.history, dap_recorder=self.dap_recorder)
             for i in range(spec.num_readers)
         ]
+        if spec.retry is not None:
+            for client in [*self.writers, *self.readers]:
+                client.enable_retries(spec.retry, seed=spec.seed)
         self.reconfigurers: List[ShardReconfigurer] = [
             ShardReconfigurer(reconfigurer_id(i), self.network, self.directory,
                               self.shard_map, history=self.history,

@@ -144,18 +144,28 @@ def execute_run(spec: RunSpec, streaming: bool = False) -> RunRecord:
                                    workload=replace(scenario.workload, **overrides))
             if scenario_overrides:
                 scenario = replace(scenario, **scenario_overrides)
-                if scenario.num_reconfigs == 0 and \
+                reconfig_axes = sorted(scenario_overrides.keys() &
+                                       {"reconfig_cadence", "fresh_servers"})
+                if scenario.num_reconfigs == 0 and reconfig_axes and \
                         "num_reconfigs" not in scenario_overrides:
                     # Mirror the explicit keyspace-axis mismatch error: a
                     # cadence/fresh-servers axis on a scenario that never
                     # reconfigures would expand to byte-identical cells
                     # presented as a real sweep.  (Sweeping num_reconfigs
                     # itself, including a 0 baseline, stays legitimate.)
-                    inert = sorted(scenario_overrides)
                     raise ValueError(
-                        f"grid axis {', '.join(inert)} has no effect: "
+                        f"grid axis {', '.join(reconfig_axes)} has no effect: "
                         f"scenario {spec.scenario!r} runs 0 reconfigurations;"
                         f" add a num_reconfigs axis")
+                if "fault_rate" in scenario_overrides and \
+                        scenario.background is None:
+                    # Same inert-axis rule for the gray-failure knob: the
+                    # stochastic background is what reads fault_rate, so on
+                    # a scenario without one every cell would be identical.
+                    raise ValueError(
+                        f"grid axis fault_rate has no effect: scenario "
+                        f"{spec.scenario!r} has no stochastic background; "
+                        f"use a *_gray_degradation scenario")
         result = run_scenario_instance(scenario, seed=spec.seed,
                                        streaming=streaming)
 

@@ -53,17 +53,23 @@ WORKLOAD_PARAM_FIELDS: Dict[str, type] = {
     "max_events": int,
 }
 
-#: Scenario-level fields a grid may override, with their parsers.  These
-#: control the *reconfiguration rate*: how many reconfigurations run
+#: Scenario-level fields a grid may override, with their parsers.  The
+#: reconfiguration-rate trio controls how many reconfigurations run
 #: concurrently with the workload, the pause before each, and how many
 #: fresh servers every round recruits.  On single-register scenarios they
 #: drive the ARES reconfigurer; on store scenarios they drive live shard
 #: migrations, so capacity/latency-vs-reconfig-rate curves run as sweep
-#: campaigns.
+#: campaigns.  ``fault_rate`` scales a gray-failure scenario's stochastic
+#: background (per-message loss and per-admission resource refusals):
+#: ``0.0`` arms nothing, and raising it degrades the run until client
+#: retries exhaust -- a monotone pass/fail axis, so
+#: ``--bisect "fault_rate=0.0..0.5"`` maps the maximum survivable rate.
+#: Only scenarios with a stochastic background accept it.
 SCENARIO_PARAM_FIELDS: Dict[str, type] = {
     "num_reconfigs": int,
     "reconfig_cadence": float,
     "fresh_servers": int,
+    "fault_rate": float,
 }
 
 #: Every grid-overridable field (the union the parser and validator accept).

@@ -25,19 +25,23 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.chaos.engine import ChaosEngine
 from repro.chaos.faults import (
+    CpuPressure,
     Crash,
+    DiskFull,
     Drop,
     Duplicate,
     Isolate,
     LatencySpike,
+    MemoryPressure,
     Reconfigure,
     Reorder,
     Restart,
     SlowServer,
 )
-from repro.chaos.schedule import At, During, Schedule
+from repro.chaos.schedule import At, During, Schedule, Stochastic
 from repro.core.deployment import AresDeployment, DeploymentSpec
 from repro.net.latency import UniformLatency
+from repro.sim.process import RetryPolicy
 from repro.store import ShardSpec, StoreDeployment, StoreSpec
 from repro.workloads.generator import ClosedLoopDriver, WorkloadResult, WorkloadSpec
 
@@ -145,6 +149,17 @@ class ChaosScenario:
         Reconfiguration pressure: how many reconfigurations, the pause
         before each, the DAP kinds to cycle through (empty = scenario DAP)
         and how many fresh servers each new configuration recruits.
+    fault_rate / background:
+        Continuous background (gray) failure.  ``background`` is a
+        ``(deployment, scenario) -> Schedule`` factory whose entries gate
+        themselves on ``scenario.fault_rate`` (typically
+        :class:`~repro.chaos.schedule.Stochastic` entries); the runner arms
+        it on top of the scripted ``schedule``.  ``fault_rate`` is a plain
+        scenario field, which is what lets the sweep engine use it as a
+        grid axis and :class:`~repro.sweep.adaptive.AdaptiveCampaign`
+        bisect each DAP's maximum survivable rate.  At the default 0.0 a
+        stochastic background arms nothing, so the run is byte-identical
+        to the background-free scenario.
     """
 
     name: str
@@ -158,6 +173,8 @@ class ChaosScenario:
     reconfig_cadence: float = 8.0
     reconfig_daps: Tuple[str, ...] = ()
     fresh_servers: int = 0
+    fault_rate: float = 0.0
+    background: Optional[Callable[[AresDeployment, "ChaosScenario"], Schedule]] = None
 
 
 @dataclass
@@ -185,8 +202,13 @@ class ChaosRunResult:
         return list(self.engine.log)
 
     def signature(self) -> tuple:
-        """Determinism witness: history fingerprint + chaos log."""
-        return (self.history.signature(), tuple(self.engine.log))
+        """Determinism witness: history fingerprint + chaos log.
+
+        Uses the engine's :meth:`~repro.chaos.engine.ChaosEngine.log_signature`,
+        which is byte-identical to the full log until the bounded ring
+        overflows (and then carries an exact elision marker).
+        """
+        return (self.history.signature(), self.engine.log_signature())
 
     def signature_hash(self) -> str:
         """SHA-256 hex digest of ``repr(self.signature())``.
@@ -200,7 +222,7 @@ class ChaosRunResult:
         stream = self.history.stream
         if stream is not None:
             stream.finalize()
-            return stream.result_signature_hash(self.engine.log)
+            return stream.result_signature_hash(self.engine.log_signature())
         import hashlib
 
         return hashlib.sha256(repr(self.signature()).encode()).hexdigest()
@@ -347,6 +369,11 @@ def run_scenario_instance(scenario: ChaosScenario, seed: int = 0,
     engine = ChaosEngine(deployment.network, seed=f"chaos-{name}-{seed}")
     schedule = scenario.schedule(deployment)
     engine.inject(schedule)
+    if scenario.background is not None:
+        # Continuous gray failure on top of the scripted incidents; the
+        # entries gate themselves on scenario.fault_rate (a Stochastic
+        # background at rate 0.0 arms nothing at all).
+        engine.inject(scenario.background(deployment, scenario))
 
     reconfig_session = None
     if scenario.num_reconfigs:
@@ -759,4 +786,112 @@ register_scenario(ChaosScenario(
     workload=WorkloadSpec(operations_per_writer=4, operations_per_reader=4,
                           value_size=256, think_time=2.0,
                           num_keys=16, key_distribution="zipf", zipf_s=1.4),
+))
+
+
+# ------------------------------------------------- gray degradation curves
+# Continuous stochastic background failure (packet loss + resource
+# exhaustion on a server minority) with client retry/backoff enabled, one
+# scenario per DAP.  ``fault_rate`` is the sweep axis: 0.0 arms nothing
+# (byte-identical to a quiet retry-enabled run) and raising it degrades the
+# run until retries exhaust -- ``python -m repro.sweep --bisect
+# "fault_rate=0.0..0.5"`` maps each DAP's maximum survivable rate.  Retry
+# stays on at every rate so the axis compares like with like; note that
+# enabling retry changes the event sequence (per-attempt timeout timers), so
+# these deployments are distinct factories rather than reusing the quiet
+# ones.
+
+#: Retry/backoff used by the gray scenarios: bounded attempts, exponential
+#: backoff, seeded jitter (see RetryPolicy for the exact schedule).  The
+#: generous attempt budget sharpens the degradation curve -- failure
+#: probability per gather goes like q^attempts, so the pass/fail
+#: transition band a fault_rate bisection straddles narrows as the budget
+#: grows (empirically, 9 attempts with seeds 0..4 gives a monotone
+#: frontier on all three DAPs over the 1/64-quantized rate grid).
+GRAY_RETRY = RetryPolicy(attempts=9, timeout=30.0, base_delay=2.0,
+                         multiplier=2.0, jitter=0.5)
+
+
+def _abd_gray_deployment(seed: int) -> AresDeployment:
+    """ABD-5 with retrying clients (majority quorums shrug off refusals)."""
+    return AresDeployment(DeploymentSpec(
+        num_servers=5, initial_dap="abd", num_writers=2, num_readers=2,
+        num_reconfigurers=1, latency=UniformLatency(1.0, 2.0), seed=seed,
+        retry=GRAY_RETRY))
+
+
+def _treas_gray_deployment(seed: int) -> AresDeployment:
+    """TREAS [6, 4] with retrying clients (quorum 5-of-6: loss-sensitive)."""
+    return AresDeployment(DeploymentSpec(
+        num_servers=6, initial_dap="treas", k=4, delta=8, num_writers=2,
+        num_readers=2, num_reconfigurers=1,
+        latency=UniformLatency(1.0, 2.0), seed=seed, retry=GRAY_RETRY))
+
+
+def _ldr_gray_deployment(seed: int) -> AresDeployment:
+    """LDR 3+3 with retrying clients."""
+    return AresDeployment(DeploymentSpec(
+        num_servers=6, initial_dap="ldr", num_writers=2, num_readers=2,
+        num_reconfigurers=1, latency=UniformLatency(1.0, 2.0), seed=seed,
+        retry=GRAY_RETRY))
+
+
+def _gray_background(*resource_faults):
+    """Background factory: gated packet loss plus gated resource pressure.
+
+    Every entry is :class:`~repro.chaos.schedule.Stochastic` at the
+    scenario's ``fault_rate``: per-message Bernoulli packet loss across the
+    whole fleet, and per-admission resource refusals on a server minority.
+    The windows outlast any plausible run length, so the entire execution
+    sits under continuous background failure.
+    """
+
+    def background(deployment, scenario):
+        rate = scenario.fault_rate
+        return Schedule([
+            Stochastic(2, 10_000, Drop(1.0), rate=rate),
+            Stochastic(4, 10_000, *resource_faults, rate=rate),
+        ])
+
+    return background
+
+
+register_scenario(ChaosScenario(
+    name="abd_gray_degradation",
+    description=("ABD-5 under continuous stochastic packet loss, a disk-full "
+                 "server and a CPU-pressured server, with client retry/backoff"),
+    dap="abd", faults=("gray", "drop", "resource"),
+    deployment=_abd_gray_deployment,
+    schedule=lambda d: Schedule([At(30, Crash("s2"))]),
+    workload=_WORKLOAD,
+    fault_rate=0.02,
+    background=_gray_background(DiskFull("s4"),
+                                CpuPressure("s3", factor=3.0)),
+))
+
+register_scenario(ChaosScenario(
+    name="treas_gray_degradation",
+    description=("TREAS [6,4] under continuous stochastic packet loss and a "
+                 "disk-full, CPU-pressured server, with client retry/backoff"),
+    dap="treas", faults=("gray", "drop", "resource"),
+    deployment=_treas_gray_deployment,
+    schedule=lambda d: Schedule([During(10, 26, SlowServer("s0", factor=3.0))]),
+    workload=_WORKLOAD,
+    fault_rate=0.02,
+    background=_gray_background(DiskFull("s5"),
+                                CpuPressure("s5", factor=3.0)),
+))
+
+register_scenario(ChaosScenario(
+    name="ldr_gray_degradation",
+    description=("LDR 3+3 under continuous stochastic packet loss, a "
+                 "memory-bounded replica and a CPU-pressured directory, with "
+                 "client retry/backoff"),
+    dap="ldr", faults=("gray", "drop", "resource"),
+    deployment=_ldr_gray_deployment,
+    schedule=lambda d: Schedule([During(12, 28, LatencySpike(1.5))]),
+    workload=_WORKLOAD,
+    fault_rate=0.02,
+    background=_gray_background(MemoryPressure(4096, "s5"),
+                                CpuPressure("s2", factor=3.0)),
 ))

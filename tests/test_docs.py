@@ -110,8 +110,8 @@ class TestMarkdownLinks:
 class TestReadme:
     def test_readme_indexes_the_docs(self):
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-        for doc in ("docs/ARCHITECTURE.md", "docs/SCENARIOS.md",
-                    "docs/PERFORMANCE.md"):
+        for doc in ("docs/ARCHITECTURE.md", "docs/CHAOS.md",
+                    "docs/SCENARIOS.md", "docs/PERFORMANCE.md"):
             assert doc in readme, f"README does not link {doc}"
 
     def test_readme_reconfig_quickstart_executes(self, capsys):
@@ -132,6 +132,25 @@ class TestReadme:
         assert match, "reconfig quickstart has no python code block"
         exec(compile(match.group(1), "README:reconfig-quickstart", "exec"), {})
         assert capsys.readouterr().out.strip() == "2"
+
+    def test_readme_gray_failure_quickstart_executes(self, capsys):
+        """The gray-failure snippet is real code: run it verbatim.
+
+        Extracts the fenced Python block under the "Gray failures &
+        retries" heading and executes it; the snippet's own assert checks
+        the client really retried through NACKs, and the final print reads
+        the written value back as the prose promises.
+        """
+        import re
+
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "### Gray failures & retries" in readme
+        section = readme.split("### Gray failures & retries")[1]
+        section = section.split("\n## ")[0]
+        match = re.search(r"```python\n(.*?)```", section, re.S)
+        assert match, "gray-failure quickstart has no python code block"
+        exec(compile(match.group(1), "README:gray-failure-quickstart", "exec"), {})
+        assert capsys.readouterr().out.strip() == "v1"
 
     def test_readme_streaming_quickstart_executes(self, capsys):
         """The streaming-verification snippet is real code: run it verbatim.

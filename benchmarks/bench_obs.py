@@ -1,0 +1,222 @@
+"""Observability overhead benchmark: metrics must be (nearly) free.
+
+Runs a scaled-up mixed-DAP storm with metrics disabled and enabled and
+compares best-of-N wall clock.  Two gates:
+
+* **Differential**: the instrumented run's history signature must be
+  byte-identical to the plain run's -- metrics never perturb execution.
+* **Overhead** (``--check``): the instrumented best-of-N must stay within
+  ``OVERHEAD_LIMIT`` (10%) of the plain best-of-N.  With metrics disabled
+  the plane is a handful of ``is not None`` tests, which the calibrated
+  ``BENCH_CORE`` gate already covers; this benchmark prices the *enabled*
+  path.
+
+Methodology, tuned for noisy shared machines:
+
+* the registered storm's workload is scaled ``OPS_SCALE``x so the run is
+  long enough (~400 ops, >100 ms) that per-run fixed costs (registry
+  install, the end-of-run report export) amortise, short machine phases
+  average out and the number measures the steady-state hot-path cost;
+* the two legs are **interleaved pairwise** -- each repetition times one
+  plain and one instrumented run back to back, alternating which goes
+  first -- so slow machine phases hit both legs equally instead of
+  whichever leg happened to run later; two overhead estimators are
+  computed -- the ratio of **best-of-N** times and the **median of the
+  per-pair ratios** -- and the gate takes the smaller.  Machine-phase
+  noise is additive, so a phase inflates one estimator at a time (a
+  lucky plain minimum skews best-of, a descheduled pair skews the
+  median); both only agree on a high number when the overhead is real;
+* a ``--check`` run that lands over the limit re-measures once and keeps
+  the smaller reading -- a multi-second noise phase does not survive two
+  sessions, a real regression does.
+* the cyclic garbage collector is paused inside every timed region (both
+  legs) and settled outside it, so neither leg is billed for threshold
+  coin flips or the other leg's collector debt (allocation cost itself
+  stays on the clock);
+* both legs start with the process-global payload/decode caches cleared
+  (instrumented runs always clear them so exported hit rates are a pure
+  function of the cell), keeping cache state identical at run start.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py                 # measure
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick         # CI smoke
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick --check # gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import gc
+import hashlib
+import json
+import sys
+import time
+
+#: Instrumented wall clock may exceed plain wall clock by at most this.
+OVERHEAD_LIMIT = 0.10
+
+#: The scenario priced: every DAP, a keyed store, chaos and reconfig
+#: pressure all at once -- the densest instrumentation coverage available.
+SCENARIO = "store_mixed_dap_storm"
+
+#: Workload multiplier applied to the registered scenario's per-client
+#: operation counts (see module docstring).
+OPS_SCALE = 16
+
+#: Interleaved measurement pairs (full / --quick).
+REPEATS = 11
+QUICK_REPEATS = 7
+
+
+def _scaled_scenario():
+    """The storm scenario with its workload scaled ``OPS_SCALE``x."""
+    from repro.workloads.scenarios import get_scenario
+
+    base = get_scenario(SCENARIO)
+    workload = dataclasses.replace(
+        base.workload,
+        operations_per_writer=base.workload.operations_per_writer * OPS_SCALE,
+        operations_per_reader=base.workload.operations_per_reader * OPS_SCALE)
+    return dataclasses.replace(base, workload=workload)
+
+
+def _timed_run(scenario, seed: int, metrics: bool) -> "tuple[float, object]":
+    """One cache-cold, collector-quiet run; returns (seconds, result).
+
+    The cyclic collector is paused inside the timed region (for *both*
+    legs) and its debt paid off outside: collection sweeps trigger at
+    allocation-count thresholds, so whether one fires inside a 60 ms run
+    is effectively a coin flip that would dominate a sub-10%% comparison.
+    Allocation cost itself -- the real, deterministic price of the extra
+    metric objects -- is still fully on the clock.
+    """
+    from repro.common.values import payload_cache_clear
+    from repro.erasure.rs import decode_cache_clear
+    from repro.workloads.scenarios import run_scenario_instance
+
+    payload_cache_clear()
+    decode_cache_clear()
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = run_scenario_instance(scenario, seed=seed, metrics=metrics)
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return elapsed, result
+
+
+def _measure(scenario, seed: int, repeats: int) -> "tuple[dict, dict, float]":
+    """Interleaved pairs; returns both legs plus the median pair ratio."""
+    best = {False: float("inf"), True: float("inf")}
+    results = {}
+    ratios = []
+    for index in range(repeats):
+        # Alternate leg order so monotone machine drift cancels.
+        order = (False, True) if index % 2 == 0 else (True, False)
+        pair = {}
+        for metrics in order:
+            elapsed, result = _timed_run(scenario, seed, metrics)
+            pair[metrics] = elapsed
+            best[metrics] = min(best[metrics], elapsed)
+            results[metrics] = result
+        ratios.append(pair[True] / pair[False])
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2] if len(ratios) % 2 else (
+        (ratios[len(ratios) // 2 - 1] + ratios[len(ratios) // 2]) / 2.0)
+
+    def leg(metrics: bool) -> dict:
+        result = results[metrics]
+        signature = hashlib.sha256(
+            repr(result.signature()).encode()).hexdigest()
+        return {"best_sec": best[metrics], "signature": signature,
+                "ops": len(result.history),
+                "metrics_series": 0 if result.metrics is None else
+                sum(len(result.metrics.data[kind])
+                    for kind in ("counters", "gauges", "histograms"))}
+
+    return leg(False), leg(True), median_ratio
+
+
+def main(argv=None) -> int:
+    """Run the comparison; with ``--check`` exit non-zero past the gates."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help=f"{QUICK_REPEATS} measurement pairs instead of "
+                             f"{REPEATS}")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when instrumented overhead exceeds "
+                             f"{OVERHEAD_LIMIT:.0%} or the signature moved")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None,
+                        help="write the measurement JSON here")
+    args = parser.parse_args(argv)
+
+    repeats = QUICK_REPEATS if args.quick else REPEATS
+    scenario = _scaled_scenario()
+    # Warm imports/caches outside the timed region so the first pair isn't
+    # charged for them.
+    _timed_run(scenario, args.seed, metrics=True)
+
+    plain, instrumented, median_ratio = _measure(scenario, args.seed, repeats)
+    best_overhead = instrumented["best_sec"] / plain["best_sec"] - 1.0
+    median_overhead = median_ratio - 1.0
+    overhead = min(best_overhead, median_overhead)
+    if args.check and overhead > OVERHEAD_LIMIT:
+        # One re-measure absorbs a multi-second machine-noise phase; a
+        # real regression fails both sessions (see module docstring).
+        print(f"  over limit at {overhead:+.2%}; re-measuring once")
+        plain2, instrumented2, median_ratio2 = _measure(
+            scenario, args.seed, repeats)
+        best2 = instrumented2["best_sec"] / plain2["best_sec"] - 1.0
+        retry = min(best2, median_ratio2 - 1.0)
+        if retry < overhead:
+            plain, instrumented = plain2, instrumented2
+            best_overhead, median_overhead = best2, median_ratio2 - 1.0
+            overhead = retry
+
+    report = {
+        "scenario": SCENARIO, "ops_scale": OPS_SCALE, "seed": args.seed,
+        "repeats": repeats,
+        "plain_best_sec": round(plain["best_sec"], 5),
+        "instrumented_best_sec": round(instrumented["best_sec"], 5),
+        "overhead": round(overhead, 4),
+        "overhead_best_of": round(best_overhead, 4),
+        "overhead_median_pair": round(median_overhead, 4),
+        "overhead_limit": OVERHEAD_LIMIT,
+        "signatures_match": plain["signature"] == instrumented["signature"],
+        "history_ops": plain["ops"],
+        "metrics_series": instrumented["metrics_series"],
+    }
+    print(f"{SCENARIO} x{OPS_SCALE} seed={args.seed} ops={plain['ops']} "
+          f"({repeats} interleaved pairs)")
+    print(f"  plain        {plain['best_sec'] * 1000:8.2f} ms (best)")
+    print(f"  instrumented {instrumented['best_sec'] * 1000:8.2f} ms (best, "
+          f"{instrumented['metrics_series']} series)")
+    print(f"  overhead     {overhead:+.2%} (best-of {best_overhead:+.2%}, "
+          f"median pair {median_overhead:+.2%}, limit {OVERHEAD_LIMIT:.0%})")
+    print(f"  signatures   "
+          f"{'identical' if report['signatures_match'] else 'DIVERGED'}")
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if not report["signatures_match"]:
+        print("FAIL: metrics instrumentation changed the execution")
+        return 1
+    if args.check and overhead > OVERHEAD_LIMIT:
+        print(f"FAIL: instrumented overhead {overhead:.2%} exceeds "
+              f"{OVERHEAD_LIMIT:.0%}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, "src")
+    sys.exit(main())

@@ -132,6 +132,11 @@ class ChaosEngine:
         # The gate of the Stochastic activation in flight: while set, every
         # hook a fault installs is wrapped behind per-decision gate draws.
         self._active_gate: Optional[StochasticGate] = None
+        #: Observability registry; None (the default) keeps the fault
+        #: lifecycle at one attribute test per activation, same idiom as
+        #: the network's quiet path.  Activations bump counters and stops
+        #: leave ``heal`` marks the SLO DSL anchors recovery windows on.
+        self.metrics = None
 
     # ------------------------------------------------------------ resolution
     def resolve(self, target: Target) -> ProcessId:
@@ -206,12 +211,16 @@ class ChaosEngine:
 
     def _apply(self, fault: Fault) -> None:
         self.record(fault.describe())
+        if self.metrics is not None:
+            self.metrics.inc("fault_activations")
         self._activate(fault, lambda: fault.apply(self))
         if id(fault) in self._hooks:
             self.active.append(fault)
 
     def _start(self, fault: Fault) -> None:
         self.record(f"start {fault.describe()}")
+        if self.metrics is not None:
+            self.metrics.inc("fault_activations")
         self._activate(fault, lambda: fault.start(self))
         self.active.append(fault)
 
@@ -220,6 +229,8 @@ class ChaosEngine:
         # rates land in the same RATE_RESOLUTION step are the same run,
         # and their chaos logs must be byte-identical too.
         self.record(f"start {fault.describe()} ~rate={gate.effective_rate:g}")
+        if self.metrics is not None:
+            self.metrics.inc("fault_activations")
         self._active_gate = gate
         try:
             self._activate(fault, lambda: fault.start(self))
@@ -231,6 +242,8 @@ class ChaosEngine:
         if fault not in self.active:
             return  # already healed (e.g. by an explicit Heal entry)
         self.record(f"stop {fault.describe()}")
+        if self.metrics is not None:
+            self.metrics.mark("heal")
         fault.stop(self)
         self.active.remove(fault)
 

@@ -55,6 +55,7 @@ class RegisterOpsMixin(SequenceTraversalMixin):
                         key: Optional[str] = None):
         """Coroutine: the ARES write (Algorithm 7) against one register."""
         record = None
+        started = self.now
         if self.history is not None:
             record = self.history.invoke(self.pid, OperationType.WRITE, self.now,
                                          value_label=value.label, key=key)
@@ -71,12 +72,15 @@ class RegisterOpsMixin(SequenceTraversalMixin):
         yield from self._register_propagate(cseq, dap_for, new_pair)
         if record is not None:
             self.history.respond(record, self.now, tag=new_pair.tag)
+        if self.metrics is not None:
+            self.metrics.observe("write_latency", self.now - started)
         return new_pair.tag
 
     def _register_read(self, cseq: ConfigSequence, dap_for,
                        key: Optional[str] = None):
         """Coroutine: the ARES read (Algorithm 7); returns the value."""
         record = None
+        started = self.now
         if self.history is not None:
             record = self.history.invoke(self.pid, OperationType.READ, self.now,
                                          key=key)
@@ -93,6 +97,8 @@ class RegisterOpsMixin(SequenceTraversalMixin):
         if record is not None:
             self.history.respond(record, self.now, value_label=best.value.label,
                                  tag=best.tag)
+        if self.metrics is not None:
+            self.metrics.observe("read_latency", self.now - started)
         return best.value
 
     def _register_propagate(self, cseq: ConfigSequence, dap_for, pair: TagValue):

@@ -88,21 +88,35 @@ class ReconfigOpsMixin(SequenceTraversalMixin):
             record = self.history.invoke(self.pid, OperationType.RECONFIG, self.now,
                                          value_label=str(proposed.cfg_id), key=key)
         self.directory.register(proposed)
+        metrics = self.metrics
+        started = self.now
 
         # Phase 1: read-config.
         yield from self.read_config(cseq)
+        if metrics is not None:
+            metrics.observe("reconfig_phase:read-config", self.now - started)
+            phase_started = self.now
 
         # Phase 2: add-config.
         installed = yield from self._add_config(cseq, proposed)
+        if metrics is not None:
+            metrics.observe("reconfig_phase:add-config", self.now - phase_started)
+            phase_started = self.now
 
         # Phase 3: update-config.
         if update is not None:
             yield from update()
         else:
             yield from self._update_config(cseq, dap_for)
+        if metrics is not None:
+            metrics.observe("reconfig_phase:update-config", self.now - phase_started)
+            phase_started = self.now
 
         # Phase 4: finalize-config.
         yield from self._finalize_config(cseq)
+        if metrics is not None:
+            metrics.observe("reconfig_phase:finalize-config", self.now - phase_started)
+            metrics.observe("reconfig_duration", self.now - started)
 
         self.completed_reconfigs += 1
         if record is not None:

@@ -92,6 +92,8 @@ class AresServer(Process):
                 # Refuse loudly: an explicit NACK (instead of a silent drop)
                 # lets the client's quorum gather fail fast and retry, the
                 # gray-failure behaviour this taxonomy models.
+                if self.metrics is not None:
+                    self.metrics.inc("srv_nacks")
                 if message.request_id is not None:
                     self.send(src, reply(message, kind="SRV-NACK",
                                          nack=True, error=reason))

@@ -55,6 +55,11 @@ class Network:
         # True while no hook of any kind is installed; send() then takes a
         # zero-chaos fast path that skips every hook loop.
         self._quiet = True
+        # Observability registry.  None (the default) costs nothing; an
+        # installed registry reads the message counters above as delta
+        # stat-sources at window boundaries, so even instrumented runs add
+        # zero work to the per-message send path.
+        self.metrics = None
 
     # -------------------------------------------------------------- registry
     def register(self, process: Process) -> None:

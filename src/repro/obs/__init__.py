@@ -1,0 +1,40 @@
+"""Observability plane: virtual-time metrics, reports and SLO assertions.
+
+This package is the run-to-report spine of the reproduction.  It provides
+
+* :mod:`repro.obs.series` -- deterministic windowed counters, gauges and
+  histograms sampled in virtual time with bounded, coarsening storage;
+* :mod:`repro.obs.registry` -- the :class:`MetricsRegistry` the hot paths
+  record into (no-op when a component's ``metrics`` attribute is ``None``,
+  which is the default everywhere) and :func:`install_metrics` to wire a
+  registry through a deployment, chaos engine and history stream;
+* :mod:`repro.obs.report` -- the compact :class:`MetricsReport` JSON export
+  carried through ``ChaosRunResult``, sweep records and checkpoints;
+* :mod:`repro.obs.slo` -- the :class:`SLO` assertion DSL
+  (``p99("read_latency", after="heal").within(...)``,
+  ``rate("nacks").below(...)``) evaluated against exported reports.
+
+The package is a deliberate leaf: it imports nothing from the simulator,
+core or sweep layers, so any layer may depend on it without cycles.
+Enabling metrics never perturbs a run -- see ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.registry import MetricsRegistry, install_metrics
+from repro.obs.report import MetricsReport
+from repro.obs.series import Counter, Gauge, WindowedHistogram, nearest_rank
+from repro.obs.slo import SLO, mean, p99, peak, rate
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "MetricsReport",
+    "SLO",
+    "WindowedHistogram",
+    "install_metrics",
+    "mean",
+    "nearest_rank",
+    "p99",
+    "peak",
+    "rate",
+]

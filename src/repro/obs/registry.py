@@ -1,0 +1,227 @@
+"""The metrics registry: named series bound to a simulator clock.
+
+A :class:`MetricsRegistry` is the single object the instrumented hot paths
+talk to.  Every hot path holds a ``metrics`` attribute that is ``None`` by
+default -- the same no-op-when-disabled idiom as ``AresServer.governor``
+and the network's ``_quiet`` fast path -- so a disabled run pays exactly
+one attribute test per call site and allocates nothing.  When a registry
+*is* installed, every sample is stamped with the simulator's **virtual**
+clock; the registry never schedules events, never reads the wall clock and
+never touches any of the run's seeded RNG streams, which is what makes the
+metrics plane provably invisible to history signatures and chaos logs.
+
+:func:`install_metrics` wires one registry into a deployment (network,
+servers, clients), a chaos engine and an optional history stream by plain
+attribute assignment -- duck-typed, so the obs package stays a leaf with no
+imports from the core layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.series import (DEFAULT_MAX_WINDOWS, DEFAULT_WINDOW, Counter,
+                              Gauge, WindowedHistogram)
+
+__all__ = ["MetricsRegistry", "install_metrics"]
+
+#: Hard cap on distinct series per registry; extra names fall into a shared
+#: throwaway series so a label-cardinality bug cannot balloon memory.
+MAX_SERIES = 160
+
+
+class MetricsRegistry:
+    """Named counters, gauges and windowed histograms in virtual time.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose ``now`` clock stamps every sample (anything
+        with ``now`` and ``events_processed`` attributes works).
+    window:
+        Initial window width in virtual seconds; per-series widths double
+        under coarsening.
+    max_windows:
+        Closed windows retained per series before coarsening.
+    """
+
+    __slots__ = ("sim", "window", "max_windows", "counters", "gauges",
+                 "histograms", "marks", "_overflow", "_next_events_at",
+                 "_stat_sources", "_events_gauge")
+
+    def __init__(self, sim, window: float = DEFAULT_WINDOW,
+                 max_windows: int = DEFAULT_MAX_WINDOWS) -> None:
+        self.sim = sim
+        self.window = float(window)
+        self.max_windows = int(max_windows)
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, WindowedHistogram] = {}
+        self.marks: Dict[str, List[float]] = {}
+        self._overflow: Dict[type, object] = {}
+        self._next_events_at = 0.0
+        # [name, read(), last sampled value, Counter] entries, delta-sampled
+        # into counters at window boundaries (see add_stat_source).
+        self._stat_sources: List[list] = []
+        self._events_gauge: Optional[Gauge] = None
+
+    # ------------------------------------------------------------- plumbing
+    def _series(self, table: Dict[str, object], factory, name: str):
+        """Fetch-or-create a series, overflowing past :data:`MAX_SERIES`."""
+        series = table.get(name)
+        if series is None:
+            if (len(self.counters) + len(self.gauges)
+                    + len(self.histograms)) >= MAX_SERIES:
+                overflow = self._overflow.get(factory)
+                if overflow is None:
+                    overflow = factory("obs:overflow", self.window,
+                                       self.max_windows)
+                    self._overflow[factory] = overflow
+                return overflow
+            series = factory(name, self.window, self.max_windows)
+            table[name] = series
+        return series
+
+    def add_stat_source(self, name: str, read) -> None:
+        """Register an external monotone counter to delta-sample on ticks.
+
+        ``read()`` must return a cumulative count (e.g. the network's
+        ``messages_sent``).  At every window-boundary tick -- and once more
+        at report time, so totals come out *exact* -- the registry counts
+        the delta since the previous sample into counter ``name``.  This is
+        how per-message statistics stay windowed without adding a single
+        instruction to the per-message hot path.
+        """
+        self._stat_sources.append([name, read, 0, None])
+
+    def _tick(self, now: float) -> None:
+        """Sample the event-rate gauge and the registered stat sources.
+
+        Runs once per window-boundary crossing (the recording fast paths
+        compare against ``_next_events_at``), so per-tick cost is amortised
+        over every sample recorded inside the window.
+        """
+        self._next_events_at = (now // self.window + 1.0) * self.window
+        gauge = self._events_gauge
+        if gauge is None:
+            gauge = self._events_gauge = self._series(self.gauges, Gauge,
+                                                      "sim_events")
+        gauge.set(now, float(self.sim.events_processed))
+        for entry in self._stat_sources:
+            value = entry[1]()
+            delta = value - entry[2]
+            if delta:
+                entry[2] = value
+                counter = entry[3]
+                if counter is None:
+                    counter = entry[3] = self._series(self.counters, Counter,
+                                                      entry[0])
+                counter.inc(now, delta)
+
+    # ------------------------------------------------------------ recording
+    # The recording methods run once per message on instrumented hot paths,
+    # so each keeps an inlined fast path: one dict probe for the series and
+    # one comparison for the event-rate tick, with creation and boundary
+    # work pushed out of line.
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Bump counter ``name`` by ``amount`` at the current virtual time."""
+        series = self.counters.get(name)
+        if series is None:
+            series = self._series(self.counters, Counter, name)
+        now = self.sim.now
+        if now >= self._next_events_at:
+            self._tick(now)
+        series.inc(now, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` at the current virtual time."""
+        series = self.gauges.get(name)
+        if series is None:
+            series = self._series(self.gauges, Gauge, name)
+        now = self.sim.now
+        if now >= self._next_events_at:
+            self._tick(now)
+        series.set(now, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add ``value`` to histogram ``name`` at the current virtual time."""
+        series = self.histograms.get(name)
+        if series is None:
+            series = self._series(self.histograms, WindowedHistogram, name)
+        now = self.sim.now
+        if now >= self._next_events_at:
+            self._tick(now)
+        series.observe(now, value)
+
+    def histogram_handle(self, name: str) -> WindowedHistogram:
+        """The histogram series object for ``name``, created if missing.
+
+        Hot paths that observe the same series many times (e.g. the quorum
+        round timer) resolve the handle once and feed it through
+        :meth:`observe_since`, skipping the per-sample name lookup.
+        """
+        series = self.histograms.get(name)
+        if series is None:
+            series = self._series(self.histograms, WindowedHistogram, name)
+        return series
+
+    def observe_since(self, series: WindowedHistogram, started: float) -> None:
+        """Record ``now - started`` into a pre-resolved histogram handle."""
+        now = self.sim.now
+        if now >= self._next_events_at:
+            self._tick(now)
+        series.observe(now, now - started)
+
+    def mark(self, name: str) -> None:
+        """Record a point-in-time event (e.g. ``heal``) for SLO anchoring."""
+        self.marks.setdefault(name, []).append(self.sim.now)
+
+    # ------------------------------------------------------------ exporting
+    def report(self, extra: Optional[Dict[str, object]] = None):
+        """Freeze the registry into a :class:`~repro.obs.report.MetricsReport`.
+
+        ``extra`` entries (e.g. the simulator snapshot, cache hit rates)
+        are merged into the report's top-level ``meta`` section.
+        """
+        from repro.obs.report import MetricsReport
+
+        now = self.sim.now
+        # Final flush: the boundary tick undershoots by up to one window,
+        # so sample the gauge and every stat source once more at freeze
+        # time -- stat-source counter totals are exact, not approximate.
+        self._tick(now)
+        return MetricsReport.from_registry(self, duration=now,
+                                           extra=dict(extra or {}))
+
+
+def install_metrics(deployment, engine=None, stream=None,
+                    registry: Optional[MetricsRegistry] = None,
+                    window: float = DEFAULT_WINDOW) -> MetricsRegistry:
+    """Wire one registry into every hot path of a deployment.
+
+    Assigns the registry to the network, every server, every client
+    (writers, readers, reconfigurers), the chaos ``engine`` and the
+    streaming history ``stream`` when given.  Returns the registry so the
+    caller can keep recording (end-of-run collection) and export a report.
+    """
+    registry = registry or MetricsRegistry(deployment.sim, window=window)
+    network = deployment.network
+    network.metrics = registry
+    # Per-message statistics come from the network's existing cumulative
+    # counters, delta-sampled at window boundaries: the send/deliver hot
+    # paths run zero extra instructions even when metrics are enabled.
+    registry.add_stat_source("messages", lambda: network.messages_sent)
+    registry.add_stat_source("messages_delivered",
+                             lambda: network.messages_delivered)
+    registry.add_stat_source("messages_dropped",
+                             lambda: network.messages_dropped)
+    for server in deployment.servers.values():
+        server.metrics = registry
+    for client in (list(deployment.writers) + list(deployment.readers)
+                   + list(deployment.reconfigurers)):
+        client.metrics = registry
+    if engine is not None:
+        engine.metrics = registry
+    if stream is not None:
+        stream.metrics = registry
+    return registry

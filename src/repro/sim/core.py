@@ -146,6 +146,20 @@ class Simulator:
         and is not counted)."""
         return self._cancelled_events
 
+    def metrics_snapshot(self) -> dict:
+        """One-shot counters snapshot for the observability plane.
+
+        A plain read of public state -- the metrics layer calls this at
+        report time instead of instrumenting the run loop, so the hot loop
+        carries zero observability overhead.
+        """
+        return {
+            "now": self.now,
+            "events_processed": self.events_processed,
+            "pending_events": self.pending_events,
+            "cancelled_events": self.cancelled_events,
+        }
+
     # ------------------------------------------------------------- scheduling
     def schedule(self, delay: float, callback: Callable[..., None], label: str = "",
                  args: tuple = ()) -> Event:

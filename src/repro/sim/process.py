@@ -38,6 +38,44 @@ def _responder(response):
     return response[0]
 
 
+#: Interned ``round:{label}`` histogram names; the label set is small and
+#: static, so caching avoids a string build per instrumented quorum round.
+_ROUND_SERIES: Dict[str, str] = {}
+
+
+class _RoundTimer:
+    """Done-callback for one instrumented quorum round (see ``_observe_round``).
+
+    Combines the pending-gather cleanup with the round timing so an
+    instrumented round attaches exactly as many callbacks as a plain one.
+    A ``__slots__`` instance is one allocation where a closure needs a
+    function object plus a cell per captured variable -- one of these is
+    created per round, so the difference shows up directly as
+    garbage-collector pressure.  ``handle`` is the pre-resolved histogram
+    series object, so firing skips the registry's name lookup entirely.
+    """
+
+    __slots__ = ("process", "request_id", "handle", "started")
+
+    def __init__(self, process: "Process", request_id: int, handle,
+                 started: float) -> None:
+        self.process = process
+        self.request_id = request_id
+        self.handle = handle
+        self.started = started
+
+    def __call__(self, fut: SimFuture) -> None:
+        self.process._pending_gathers.pop(self.request_id, None)
+        metrics = self.process.metrics
+        # Reading the slot directly saves a method call on a path that runs
+        # once per round; callbacks fire synchronously inside set_result /
+        # set_exception, so _done is always final here.
+        if fut._exception is not None:
+            metrics.inc("round_failures")
+        else:
+            metrics.observe_since(self.handle, self.started)
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded retry with exponential backoff and seeded jitter.
@@ -109,6 +147,11 @@ class Process:
         #: How many gather attempts this process re-issued / NACKs it received.
         self.retries = 0
         self.nacks_received = 0
+        #: Observability registry; None (the default) keeps every hot path
+        #: at a single attribute test, the same idiom as ``retry_policy``.
+        self.metrics = None
+        #: Per-label ``round:{label}`` histogram handles (see _observe_round).
+        self._round_handles: Dict[str, object] = {}
         network.register(self)
 
     # ----------------------------------------------------------------- state
@@ -162,6 +205,8 @@ class Process:
             gather = self._pending_gathers[request_id]
             if message.get("nack"):
                 self.nacks_received += 1
+                if self.metrics is not None:
+                    self.metrics.inc("nacks")
                 gather.add_nack((src, message))
             else:
                 gather.add_response((src, message))
@@ -250,13 +295,42 @@ class Process:
             )
         self._pending_gathers[request_id] = gather
 
-        def cleanup(_fut: SimFuture) -> None:
-            self._pending_gathers.pop(request_id, None)
+        if self.metrics is None:
+            def cleanup(_fut: SimFuture) -> None:
+                self._pending_gathers.pop(request_id, None)
 
-        gather.add_done_callback(cleanup)
+            gather.add_done_callback(cleanup)
+        else:
+            self._observe_round(gather, request_id, label)
         for server in servers:
             self.send(server, make_message(request_id))
         return request_id, gather
+
+    def _observe_round(self, gather: QuorumFuture, request_id: int,
+                       label: str) -> None:
+        """Attach a metrics done-callback timing this quorum round.
+
+        Future callbacks fire synchronously inside ``set_result`` /
+        ``set_exception`` -- no event is scheduled -- so observing the round
+        cannot perturb the simulation.  Successful rounds record their
+        virtual-time duration into the ``round:{label}`` histogram; failed
+        rounds (refused / quorum lost) bump the ``round_failures`` counter.
+        The callback doubles as the pending-gather cleanup, replacing the
+        plain path's closure rather than stacking on top of it.  The
+        ``round:{label}`` series handle is resolved once per process and
+        label (a registry is installed once per run, so a cached handle can
+        never go stale) and fed through the registry's lookup-free
+        ``observe_since`` fast path when the round completes.
+        """
+        handle = self._round_handles.get(label)
+        if handle is None:
+            name = _ROUND_SERIES.get(label)
+            if name is None:
+                name = _ROUND_SERIES.setdefault(label, f"round:{label}")
+            handle = self._round_handles[label] = \
+                self.metrics.histogram_handle(name)
+        gather.add_done_callback(
+            _RoundTimer(self, request_id, handle, self.sim.now))
 
     def open_gather(self, threshold: int, label: str = "gather") -> "tuple[int, QuorumFuture]":
         """Register a reply-gathering future without sending any request.
@@ -310,7 +384,11 @@ class Process:
                 f"{len(alive)} of {len(messages)} servers are alive"
             )
         self._pending_gathers[request_id] = gather
-        gather.add_done_callback(lambda _f: self._pending_gathers.pop(request_id, None))
+        if self.metrics is None:
+            gather.add_done_callback(
+                lambda _f: self._pending_gathers.pop(request_id, None))
+        else:
+            self._observe_round(gather, request_id, label)
         for server, make_message in messages.items():
             self.send(server, make_message(request_id))
         return request_id, gather
@@ -339,6 +417,8 @@ class Process:
         for attempt in range(1, policy.attempts + 1):
             if attempt > 1:
                 self.retries += 1
+                if self.metrics is not None:
+                    self.metrics.inc("retries")
                 yield self.sleep(policy.backoff(attempt - 1, rng))
             try:
                 request_id, gather = open_attempt()

@@ -605,6 +605,11 @@ class HistoryStream:
         self.open_window_peak = 0
         self.read_latencies = StreamingStats(latency_reservoir, seed=0)
         self.write_latencies = StreamingStats(latency_reservoir, seed=1)
+        #: Observability registry; None (the default) keeps the per-record
+        #: path at a single attribute test (same idiom as the network's
+        #: quiet path).  When installed, every invocation samples the open
+        #: concurrency window into the ``open_window`` gauge.
+        self.metrics = None
 
     # ---------------------------------------------------------- properties
     @property
@@ -646,6 +651,8 @@ class HistoryStream:
         open_window = len(self._history._records)
         if open_window > self.open_window_peak:
             self.open_window_peak = open_window
+        if self.metrics is not None:
+            self.metrics.set_gauge("open_window", open_window)
         if open_window > self.window_limit:
             raise StreamingWindowError(
                 f"open concurrency window ({open_window} unfolded records) "

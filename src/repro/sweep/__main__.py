@@ -27,6 +27,12 @@ Examples::
     python -m repro.sweep --grid "scenarios=store_mixed_dap_storm;seeds=0..2" \
         --bisect "max_events=500..60000" --output frontier.json
 
+    # degradation campaign with per-cell virtual-time metrics, SLO
+    # verdicts and a self-contained HTML report (--report implies --metrics)
+    python -m repro.sweep \
+        --grid "scenarios=*_gray_degradation;seeds=0..2;fault_rate=0.0,0.05,0.1" \
+        --jobs 4 --metrics --report campaign.html
+
 Exit status: 0 when every cell passed (and every ``--check-serial``
 signature matched / every ``--bisect`` monotonicity probe agreed); 1 on
 failures; 2 on checkpoint misuse; 3 when a ``--stop-after`` campaign
@@ -200,6 +206,16 @@ def main(argv=None) -> int:
                         help="verify each cell online with a bounded open "
                              "window (O(open window) worker memory; cell "
                              "hashes stay byte-identical to batch mode)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="instrument every cell with the virtual-time "
+                             "metrics registry: per-cell reports and SLO "
+                             "verdicts land in the JSON output and the "
+                             "checkpoint journal (SLO failures are reported, "
+                             "not gated)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write a self-contained HTML campaign report "
+                             "(pass/fail matrix, degradation curves, per-cell "
+                             "sparklines; implies --metrics)")
     parser.add_argument("--bisect", default=None, metavar="AXIS=LO..HI",
                         help="adaptive mode: bisect this grid axis to the "
                              "pass/fail frontier for each grid scenario "
@@ -220,10 +236,14 @@ def main(argv=None) -> int:
     if args.resume and args.checkpoint is None:
         parser.error("--resume needs --checkpoint PATH")
     if args.bisect is not None:
-        for flag in ("checkpoint", "stop_after", "check_serial"):
+        for flag in ("checkpoint", "stop_after", "check_serial", "report"):
             if getattr(args, flag) is not None:
                 parser.error(f"--bisect is probe-driven; "
                              f"--{flag.replace('_', '-')} does not apply")
+        if args.metrics:
+            parser.error("--bisect is probe-driven; --metrics does not apply")
+    if args.report is not None:
+        args.metrics = True
 
     grid = parse_grid(args.grid)
     if args.bisect is not None:
@@ -240,7 +260,7 @@ def main(argv=None) -> int:
         result = campaign(grid, jobs=jobs, progress=progress,
                           streaming=args.streaming, chunk=args.chunk,
                           checkpoint=args.checkpoint, resume=args.resume,
-                          max_cells=args.stop_after)
+                          max_cells=args.stop_after, metrics=args.metrics)
     except CheckpointError as error:
         print(f"checkpoint error: {error}", file=sys.stderr)
         return 2
@@ -261,6 +281,21 @@ def main(argv=None) -> int:
               "have records; resume with --checkpoint ... --resume to finish")
     for record in result.failures():
         print(f"\nFAILED {record.cell_id}:\n{record.failure}")
+    if args.metrics:
+        # SLO verdicts are informational at the CLI: a degradation sweep
+        # deliberately pushes fault rates past the calibrated envelope, so
+        # broken SLOs there are the data, not a campaign failure.  The
+        # tier-1 SLO regression tests are where verdicts gate.
+        slo_failures = [(record.cell_id, entry)
+                        for record in result.records
+                        for entry in (record.metrics or {}).get("slo", ())
+                        if not entry["ok"]]
+        cells_with_slos = sum(1 for record in result.records
+                              if (record.metrics or {}).get("slo"))
+        print(f"SLO verdicts: {len(slo_failures)} failed across "
+              f"{cells_with_slos} cells with attached SLOs")
+        for cell_id, entry in slo_failures:
+            print(f"  SLO BROKEN {cell_id}: {entry['detail']}")
 
     exit_code = 0 if result.ok else 1
 
@@ -302,6 +337,11 @@ def main(argv=None) -> int:
     if args.output is not None:
         path = pathlib.Path(args.output)
         path.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"wrote {path}")
+
+    if args.report is not None:
+        path = pathlib.Path(args.report)
+        path.write_text(result.render_html(), encoding="utf-8")
         print(f"wrote {path}")
 
     return exit_code

@@ -38,15 +38,21 @@ class CheckpointError(ValueError):
     """A checkpoint journal cannot be (re)used: wrong grid, mode or format."""
 
 
-def grid_fingerprint(grid: SweepGrid, streaming: bool = False) -> str:
+def grid_fingerprint(grid: SweepGrid, streaming: bool = False,
+                     metrics: bool = False) -> str:
     """SHA-256 fingerprint of a grid + verification mode.
 
     This keys the checkpoint journal (resuming against a different grid is
     an error) and seeds the ``--check-serial`` cell sampler, so it must be
     deterministic across processes and sessions: it hashes the canonical
-    JSON of :meth:`SweepGrid.describe` plus the streaming flag.
+    JSON of :meth:`SweepGrid.describe` plus the streaming flag.  The
+    ``metrics`` flag joins the payload only when set, so every fingerprint
+    ever computed before the flag existed is unchanged -- old journals stay
+    resumable and the serial-check sampler keeps drawing the same cells.
     """
     payload = {"grid": grid.describe(), "streaming": bool(streaming)}
+    if metrics:
+        payload["metrics"] = True
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode()).hexdigest()
 
@@ -71,17 +77,20 @@ class Checkpoint:
 
     @classmethod
     def open(cls, path: Union[str, pathlib.Path], grid: SweepGrid,
-             streaming: bool = False, resume: bool = False) -> "Checkpoint":
+             streaming: bool = False, metrics: bool = False,
+             resume: bool = False) -> "Checkpoint":
         """Create a fresh journal, or (``resume=True``) reopen an existing one.
 
         An existing journal without ``resume`` is an error -- a stale file
         must never silently masquerade as campaign progress.  ``resume``
         against a missing/empty file simply starts fresh (so a resume
         invocation is idempotent from the first attempt on).  A resumed
-        journal's grid fingerprint must match ``grid``/``streaming``.
+        journal's grid fingerprint must match ``grid``/``streaming``/
+        ``metrics`` -- a metrics campaign must not merge metrics-free
+        records (half the cells would silently lack reports).
         """
         path = pathlib.Path(path)
-        grid_hash = grid_fingerprint(grid, streaming)
+        grid_hash = grid_fingerprint(grid, streaming, metrics)
         if path.exists() and path.stat().st_size > 0:
             if not resume:
                 raise CheckpointError(
@@ -91,8 +100,9 @@ class Checkpoint:
             if header.get("grid_hash") != grid_hash:
                 raise CheckpointError(
                     f"checkpoint {path} was recorded for a different "
-                    "grid/streaming mode; refusing to merge (delete it or "
-                    "rerun with the original --grid/--streaming flags)")
+                    "grid/streaming/metrics mode; refusing to merge (delete "
+                    "it or rerun with the original --grid/--streaming/"
+                    "--metrics flags)")
             if good_bytes < path.stat().st_size:
                 # A tolerated partial trailing write must not stay in the
                 # file: appending after it would concatenate the next record
@@ -106,6 +116,10 @@ class Checkpoint:
         header = {"kind": "sweep-checkpoint", "schema": CHECKPOINT_SCHEMA,
                   "grid_hash": grid_hash, "grid": grid.describe(),
                   "streaming": bool(streaming)}
+        if metrics:
+            # Key written only when set: metrics-free journal headers stay
+            # byte-identical to every journal written before the flag existed.
+            header["metrics"] = True
         file.write(json.dumps(header) + "\n")
         file.flush()
         return cls(path, grid_hash, {}, file)

@@ -111,7 +111,8 @@ def default_jobs() -> int:
     return max(1, min(8, usable_cores()))
 
 
-def execute_run(spec: RunSpec, streaming: bool = False) -> RunRecord:
+def execute_run(spec: RunSpec, streaming: bool = False,
+                metrics: bool = False) -> RunRecord:
     """Run and verify one sweep cell; always returns a record, never raises.
 
     Verification is :meth:`ChaosRunResult.check` -- the same single source
@@ -123,6 +124,16 @@ def execute_run(spec: RunSpec, streaming: bool = False) -> RunRecord:
     and the recorded ``signature_hash`` is byte-identical to the batch one
     (the ``--check-serial`` gate holds across modes, not just across pool
     layouts).
+
+    ``metrics=True`` instruments the cell with a virtual-time metrics
+    registry (see :mod:`repro.obs`) and attaches the exported
+    :class:`~repro.obs.report.MetricsReport` dict to ``RunRecord.metrics``,
+    plus the scenario's SLO verdicts under its ``slo`` key.  SLO failures
+    are *reported, not gated*: ``RunRecord.ok`` stays a pure
+    correctness/liveness verdict, because a degradation sweep deliberately
+    pushes fault rates past the calibrated SLO envelope.  History
+    signatures are byte-identical with metrics on or off (the differential
+    tier-1 gate).
     """
     # Imported here so a spawn-start worker pays the import in its own
     # process and the module stays import-light for the CLI --list path.
@@ -167,10 +178,20 @@ def execute_run(spec: RunSpec, streaming: bool = False) -> RunRecord:
                         f"{spec.scenario!r} has no stochastic background; "
                         f"use a *_gray_degradation scenario")
         result = run_scenario_instance(scenario, seed=spec.seed,
-                                       streaming=streaming)
+                                       streaming=streaming, metrics=metrics)
 
         failure, checker_method = result.check()
         signature_hash = result.signature_hash()
+        metrics_payload = None
+        if result.metrics is not None:
+            metrics_payload = dict(result.metrics.to_json())
+            if scenario.slos:
+                metrics_payload["slo"] = [
+                    {"description": slo.description,
+                     "ok": detail is None,
+                     "detail": detail}
+                    for slo, detail in ((slo, slo.evaluate(result.metrics))
+                                        for slo in scenario.slos)]
         # Latency summaries come from the WorkloadResult (full lists in
         # batch mode, deterministic reservoir samples in streaming mode),
         # so the record never needs the folded history.
@@ -184,6 +205,7 @@ def execute_run(spec: RunSpec, streaming: bool = False) -> RunRecord:
             checker_method=checker_method,
             read_latency=latency_summary(result.workload.read_latencies),
             write_latency=latency_summary(result.workload.write_latencies),
+            metrics=metrics_payload,
         )
     except Exception:
         # One broken cell (unknown scenario, crashed run, checker error) must
@@ -209,14 +231,16 @@ def _warm_worker() -> None:
 
 
 def _execute_batch(indexed_batch: Tuple[int, Sequence[RunSpec]],
-                   streaming: bool = False) -> Tuple[int, List[RunRecord]]:
+                   streaming: bool = False,
+                   metrics: bool = False) -> Tuple[int, List[RunRecord]]:
     """Worker task: run one batch of cells, return its index and records.
 
     The index lets the parent stream batches back out of completion order
     (``imap_unordered``) while still reassembling grid-expansion order.
     """
     index, batch = indexed_batch
-    return index, [execute_run(spec, streaming=streaming) for spec in batch]
+    return index, [execute_run(spec, streaming=streaming, metrics=metrics)
+                   for spec in batch]
 
 
 def auto_chunk(per_cell_sec: float, pending_cells: int, jobs: int) -> int:
@@ -251,7 +275,8 @@ def campaign(grid: SweepGrid, jobs: int = 1,
              chunk: Optional[int] = None,
              checkpoint: Optional[Union[str, pathlib.Path]] = None,
              resume: bool = False,
-             max_cells: Optional[int] = None) -> SweepResult:
+             max_cells: Optional[int] = None,
+             metrics: bool = False) -> SweepResult:
     """Execute every cell of ``grid`` and aggregate into a :class:`SweepResult`.
 
     ``jobs=1`` runs serially in-process (no pool, no pickling); ``jobs>1``
@@ -277,6 +302,11 @@ def campaign(grid: SweepGrid, jobs: int = 1,
     ``streaming=True`` makes every worker verify its cell online with a
     bounded open window (see :func:`execute_run`); cell hashes stay
     byte-identical to batch-mode runs of the same grid.
+
+    ``metrics=True`` collects a per-cell virtual-time metrics report and
+    the scenario SLO verdicts (see :func:`execute_run`); the reports ride
+    the checkpoint journal, so an interrupted-and-resumed metrics campaign
+    merges its per-cell reports byte-identically with an uninterrupted one.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -288,7 +318,7 @@ def campaign(grid: SweepGrid, jobs: int = 1,
     journal: Optional[Checkpoint] = None
     if checkpoint is not None:
         journal = Checkpoint.open(checkpoint, grid, streaming=streaming,
-                                  resume=resume)
+                                  metrics=metrics, resume=resume)
 
     try:
         records_by_cell = {}
@@ -318,9 +348,10 @@ def campaign(grid: SweepGrid, jobs: int = 1,
         used_workers = 1
         if jobs == 1 or not pending:
             for spec in pending:
-                emit(execute_run(spec, streaming=streaming))
+                emit(execute_run(spec, streaming=streaming, metrics=metrics))
         else:
-            run_batch = functools.partial(_execute_batch, streaming=streaming)
+            run_batch = functools.partial(_execute_batch, streaming=streaming,
+                                          metrics=metrics)
             ctx = _pool_context()
             spinup_start = time.perf_counter()
             # Forked workers inherit the parent heap copy-on-write; without

@@ -64,6 +64,11 @@ class RunRecord:
     checker_method: str
     read_latency: Dict[str, float] = field(default_factory=dict)
     write_latency: Dict[str, float] = field(default_factory=dict)
+    #: The cell's exported :class:`~repro.obs.report.MetricsReport` dict
+    #: (already JSON-ready, passed through serialization verbatim) when the
+    #: campaign ran with ``metrics=True``; ``None`` otherwise.  The dict may
+    #: carry an extra ``slo`` entry with the scenario's SLO verdicts.
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def cell_id(self) -> str:
@@ -92,10 +97,22 @@ class RunRecord:
             checker_method=payload["checker_method"],
             read_latency=dict(payload.get("read_latency", {})),
             write_latency=dict(payload.get("write_latency", {})),
+            metrics=payload.get("metrics"),
         )
 
     def to_json(self) -> Dict[str, object]:
-        """JSON-serialisable rendering of this cell's record."""
+        """JSON-serialisable rendering of this cell's record.
+
+        The ``metrics`` key is present only when the cell collected
+        metrics, so metrics-free renderings stay byte-identical to older
+        journals and reports.
+        """
+        payload = self._base_json()
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
+
+    def _base_json(self) -> Dict[str, object]:
         return {
             "cell": self.cell_id,
             "scenario": self.scenario,
@@ -207,3 +224,16 @@ class SweepResult:
             "checker_methods": self.checker_method_counts(),
             "cells": [record.to_json() for record in self.records],
         }
+
+    def render_html(self) -> str:
+        """Self-contained HTML campaign report (no external dependencies).
+
+        Pass/fail matrix, degradation curves over the grid's ``fault_rate``
+        axis and per-cell virtual-time sparklines (when the campaign
+        collected metrics); see :mod:`repro.sweep.html`.  Works identically
+        on a result re-read from ``--output`` JSON, since it renders from
+        :meth:`to_json`.
+        """
+        from repro.sweep.html import render_campaign_html
+
+        return render_campaign_html(self.to_json())

@@ -41,6 +41,9 @@ from repro.chaos.faults import (
 from repro.chaos.schedule import At, During, Schedule, Stochastic
 from repro.core.deployment import AresDeployment, DeploymentSpec
 from repro.net.latency import UniformLatency
+from repro.obs import slo
+from repro.obs.registry import install_metrics
+from repro.obs.report import MetricsReport
 from repro.sim.process import RetryPolicy
 from repro.store import ShardSpec, StoreDeployment, StoreSpec
 from repro.workloads.generator import ClosedLoopDriver, WorkloadResult, WorkloadSpec
@@ -160,6 +163,13 @@ class ChaosScenario:
         bisect each DAP's maximum survivable rate.  At the default 0.0 a
         stochastic background arms nothing, so the run is byte-identical
         to the background-free scenario.
+    slos:
+        Quantitative service-level assertions (:class:`~repro.obs.slo.SLO`)
+        evaluated against the run's :class:`~repro.obs.report.MetricsReport`
+        when the scenario runs with ``metrics=True`` -- e.g. "p99 read
+        latency recovers within a few virtual seconds of heal" or "the
+        reconfiguration pipeline never stalls".  SLO verdicts are reported
+        alongside (never folded into) the correctness verdict.
     """
 
     name: str
@@ -175,6 +185,7 @@ class ChaosScenario:
     fresh_servers: int = 0
     fault_rate: float = 0.0
     background: Optional[Callable[[AresDeployment, "ChaosScenario"], Schedule]] = None
+    slos: Tuple[slo.SLO, ...] = ()
 
 
 @dataclass
@@ -190,6 +201,8 @@ class ChaosRunResult:
     reconfig_errors: List[str] = dataclass_field(default_factory=list)
     #: cProfile rendering of the run, when ``run_scenario(..., profile=True)``.
     profile_summary: Optional[str] = None
+    #: The run's exported metrics, when ``run_scenario(..., metrics=True)``.
+    metrics: Optional[MetricsReport] = None
 
     @property
     def history(self):
@@ -292,6 +305,27 @@ class ChaosRunResult:
         failure, _ = self.check()
         assert failure is None, failure
 
+    def check_slos(self) -> List[str]:
+        """Evaluate the scenario's SLO assertions against this run's metrics.
+
+        Returns one failure message per violated SLO (empty list: all SLOs
+        hold).  SLO verdicts are deliberately separate from :meth:`check` --
+        a run can be perfectly linearizable yet miss its recovery SLO, and
+        the sweep records both verdicts side by side.  Raises
+        :class:`ValueError` when the run was executed without
+        ``metrics=True`` (there is no report to evaluate against).
+        """
+        if self.metrics is None:
+            raise ValueError(
+                f"scenario {self.scenario.name!r} ran without metrics=True; "
+                "no MetricsReport to evaluate SLOs against")
+        failures = []
+        for assertion in self.scenario.slos:
+            message = assertion.evaluate(self.metrics)
+            if message is not None:
+                failures.append(message)
+        return failures
+
 
 #: The global registry of named chaos scenarios.
 SCENARIOS: Dict[str, ChaosScenario] = {}
@@ -322,7 +356,8 @@ def get_scenario(name: str) -> ChaosScenario:
 
 def run_scenario(name: str, seed: int = 0, profile: bool = False,
                  streaming: bool = False,
-                 window_limit: Optional[int] = None) -> ChaosRunResult:
+                 window_limit: Optional[int] = None,
+                 metrics: bool = False) -> ChaosRunResult:
     """Execute one registered scenario end-to-end, deterministically.
 
     The run seed fans out into three independent streams -- simulator
@@ -341,14 +376,23 @@ def run_scenario(name: str, seed: int = 0, profile: bool = False,
     verified online and folded away as their windows close, so memory stays
     O(open window) -- the execution itself is byte-identical, which the
     differential streaming tests pin via :meth:`ChaosRunResult.signature_hash`.
+
+    With ``metrics=True`` a :class:`~repro.obs.registry.MetricsRegistry` is
+    wired through the deployment, chaos engine and (if streaming) history
+    stream; the run's virtual-time series are exported on the result's
+    :attr:`~ChaosRunResult.metrics`.  Metrics never schedule events or touch
+    any seeded RNG stream, so the execution stays byte-identical -- the
+    differential metrics tests pin this against the golden signatures.
     """
     return run_scenario_instance(get_scenario(name), seed=seed, profile=profile,
-                                 streaming=streaming, window_limit=window_limit)
+                                 streaming=streaming, window_limit=window_limit,
+                                 metrics=metrics)
 
 
 def run_scenario_instance(scenario: ChaosScenario, seed: int = 0,
                           profile: bool = False, streaming: bool = False,
-                          window_limit: Optional[int] = None) -> ChaosRunResult:
+                          window_limit: Optional[int] = None,
+                          metrics: bool = False) -> ChaosRunResult:
     """Execute a :class:`ChaosScenario` object (registered or derived).
 
     This is :func:`run_scenario` minus the registry lookup; the sweep engine
@@ -367,6 +411,20 @@ def run_scenario_instance(scenario: ChaosScenario, seed: int = 0,
     # derive a distinct chaos seed so fault coin flips are not the same
     # Mersenne Twister stream as the latency draws.
     engine = ChaosEngine(deployment.network, seed=f"chaos-{name}-{seed}")
+    registry = None
+    if metrics:
+        # Clear the process-global perf caches first so the exported hit
+        # rates are a pure function of this cell -- required for the
+        # byte-identical checkpoint/resume guarantee (a warm worker's cache
+        # state must not leak into the report).  The caches are performance
+        # only; clearing them cannot change the execution.
+        from repro.common.values import payload_cache_clear
+        from repro.erasure.rs import decode_cache_clear
+
+        payload_cache_clear()
+        decode_cache_clear()
+        registry = install_metrics(deployment, engine=engine,
+                                   stream=deployment.history.stream)
     schedule = scenario.schedule(deployment)
     engine.inject(schedule)
     if scenario.background is not None:
@@ -407,10 +465,54 @@ def run_scenario_instance(scenario: ChaosScenario, seed: int = 0,
     # Schedule-fired operations (Reconfigure migrations) are held to the
     # same liveness standard as the workload sessions.
     reconfig_errors.extend(engine.operation_errors())
+    report = None
+    if registry is not None:
+        report = _collect_final_metrics(registry, deployment, engine)
     return ChaosRunResult(scenario=scenario, seed=seed, deployment=deployment,
                           workload=workload, engine=engine, schedule=schedule,
                           reconfig_errors=reconfig_errors,
-                          profile_summary=profile_summary)
+                          profile_summary=profile_summary, metrics=report)
+
+
+def _collect_final_metrics(registry, deployment, engine) -> MetricsReport:
+    """End-of-run collection: shard skew, cache hit rates, gate triggers.
+
+    These are whole-run facts that live outside the hot paths (per-shard
+    stored bytes, the interning/decode cache counters, stochastic gate
+    trigger totals, governor sheds), folded into the report just before it
+    freezes.  All reads are of public state; nothing here can perturb the
+    already-finished simulation.
+    """
+    from repro.common.values import payload_cache_info
+    from repro.erasure.rs import decode_cache_info
+
+    triggers = sum(gate.triggers for gate in engine.gates)
+    if triggers:
+        registry.inc("gate_triggers", triggers)
+    shed = sum(server.governor.shed for server in deployment.servers.values()
+               if server.governor is not None)
+    if shed:
+        registry.inc("governor_shed", shed)
+    if getattr(deployment, "keyed", False):
+        by_shard = deployment.storage_by_shard()
+        for index, stored in sorted(by_shard.items()):
+            registry.set_gauge(f"shard_bytes:{index}", float(stored))
+        sizes = list(by_shard.values())
+        mean_size = (sum(sizes) / len(sizes)) if sizes else 0.0
+        registry.set_gauge("shard_skew",
+                           (max(sizes) / mean_size) if mean_size else 0.0)
+    extra = {
+        "sim": deployment.sim.metrics_snapshot(),
+        "payload_cache": payload_cache_info(),
+        "decode_cache": decode_cache_info(),
+        "network": {
+            "sent": deployment.network.messages_sent,
+            "delivered": deployment.network.messages_delivered,
+            "dropped": deployment.network.messages_dropped,
+            "duplicated": deployment.network.messages_duplicated,
+        },
+    }
+    return registry.report(extra=extra)
 
 
 def _spawn_reconfig_session(deployment, scenario: ChaosScenario):
@@ -513,6 +615,10 @@ register_scenario(ChaosScenario(
     schedule=lambda d: Schedule([At(14, Crash("s4"))]),
     workload=_WORKLOAD,
     num_reconfigs=2, reconfig_cadence=6.0, fresh_servers=5,
+    # Calibrated at seeds 0..4 (worst reconfig 25.4s, zero NACKs) with
+    # ~1.6x headroom; see docs/OBSERVABILITY.md for the recipe.
+    slos=(slo.peak("reconfig_duration").within(40.0),
+          slo.rate("nacks").below(0.0)),
 ))
 
 register_scenario(ChaosScenario(
@@ -563,6 +669,9 @@ register_scenario(ChaosScenario(
     schedule=lambda d: Schedule([During(10, 30, Isolate("s5"))]),
     workload=_WORKLOAD,
     num_reconfigs=2, reconfig_cadence=7.0, fresh_servers=6,
+    # Calibrated at seeds 0..4 (worst reconfig 26.9s, zero NACKs).
+    slos=(slo.peak("reconfig_duration").within(40.0),
+          slo.rate("nacks").below(0.0)),
 ))
 
 register_scenario(ChaosScenario(
@@ -603,6 +712,10 @@ register_scenario(ChaosScenario(
     schedule=lambda d: Schedule([At(16, Crash("s4"))]),
     workload=_WORKLOAD,
     num_reconfigs=2, reconfig_cadence=7.0, fresh_servers=6,
+    # Calibrated at seeds 0..4 (worst reconfig 40.9s -- LDR moves object
+    # data through directory quorums, so its pipeline runs the longest).
+    slos=(slo.peak("reconfig_duration").within(60.0),
+          slo.rate("nacks").below(0.0)),
 ))
 
 register_scenario(ChaosScenario(
@@ -867,6 +980,12 @@ register_scenario(ChaosScenario(
     fault_rate=0.02,
     background=_gray_background(DiskFull("s4"),
                                 CpuPressure("s3", factor=3.0)),
+    # The crash never heals, so the read-latency bound covers the whole
+    # run (calibrated at seeds 0..4, worst window p99 14.7s).  The NACK
+    # rate bound pins the governor + retry path: resource refusals must
+    # stay rare even under continuous background pressure.
+    slos=(slo.p99("read_latency").within(25.0),
+          slo.rate("nacks").below(0.01)),
 ))
 
 register_scenario(ChaosScenario(
@@ -880,6 +999,12 @@ register_scenario(ChaosScenario(
     fault_rate=0.02,
     background=_gray_background(DiskFull("s5"),
                                 CpuPressure("s5", factor=3.0)),
+    # Recovery SLO: p99 read latency settles within 5 virtual seconds of
+    # the scripted heal at t=26 (calibrated at seeds 0..4, worst window
+    # p99 after heal 44.9s -- retried operations straddling the fault
+    # window land in post-heal windows, hence the headroom).
+    slos=(slo.p99("read_latency", after="heal", grace=5.0).within(60.0),
+          slo.rate("nacks").below(0.01)),
 ))
 
 register_scenario(ChaosScenario(
@@ -894,4 +1019,10 @@ register_scenario(ChaosScenario(
     fault_rate=0.02,
     background=_gray_background(MemoryPressure(4096, "s5"),
                                 CpuPressure("s2", factor=3.0)),
+    # Recovery SLO: p99 read latency settles within 5 virtual seconds of
+    # the scripted heal at t=28 (calibrated at seeds 0..4, worst window
+    # p99 after heal 54.2s).  Removing the heal entry makes this SLO fail
+    # -- the negative-control test pins that.
+    slos=(slo.p99("read_latency", after="heal", grace=5.0).within(75.0),
+          slo.rate("nacks").below(0.01)),
 ))

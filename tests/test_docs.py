@@ -111,7 +111,8 @@ class TestReadme:
     def test_readme_indexes_the_docs(self):
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
         for doc in ("docs/ARCHITECTURE.md", "docs/CHAOS.md",
-                    "docs/SCENARIOS.md", "docs/PERFORMANCE.md"):
+                    "docs/SCENARIOS.md", "docs/OBSERVABILITY.md",
+                    "docs/PERFORMANCE.md"):
             assert doc in readme, f"README does not link {doc}"
 
     def test_readme_reconfig_quickstart_executes(self, capsys):
@@ -171,6 +172,27 @@ class TestReadme:
         exec(compile(match.group(1), "README:streaming-quickstart", "exec"), {})
         assert capsys.readouterr().out.strip() == "per-key(streaming)"
 
+    def test_readme_observability_quickstart_executes(self, capsys):
+        """The observability snippet is real code: run it verbatim.
+
+        Extracts the fenced Python block under the "Observability:
+        virtual-time metrics & SLOs" heading and executes it; the snippet's
+        own asserts check the calibrated SLOs hold and the recovery query
+        returns a bounded value, and the final print confirms the message
+        counter recorded traffic.
+        """
+        import re
+
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        heading = "### Observability: virtual-time metrics & SLOs"
+        assert heading in readme
+        section = readme.split(heading)[1].split("\n## ")[0]
+        match = re.search(r"```python\n(.*?)```", section, re.S)
+        assert match, "observability quickstart has no python code block"
+        exec(compile(match.group(1), "README:observability-quickstart",
+                     "exec"), {})
+        assert capsys.readouterr().out.strip() == "True"
+
     def test_readme_sweep_example_matches_cli_flags(self):
         """The documented sweep invocation must use real CLI flags."""
         import re
@@ -182,7 +204,7 @@ class TestReadme:
                                .split("## Tests")[0]))
         known = {"--grid", "--jobs", "--chunk", "--checkpoint", "--resume",
                  "--stop-after", "--check-serial", "--streaming", "--bisect",
-                 "--output", "--list", "--quiet"}
+                 "--output", "--list", "--quiet", "--metrics", "--report"}
         assert flags <= known, f"README documents unknown sweep flags: {flags - known}"
         assert {"--grid", "--jobs", "--chunk", "--checkpoint", "--resume",
                 "--check-serial", "--bisect"} <= flags

@@ -26,6 +26,7 @@ import pytest
 #: Packages whose public surface must be fully docstringed.
 CHECKED_PACKAGES = (
     "repro.chaos",
+    "repro.obs",
     "repro.store",
     "repro.sweep",
     "repro.workloads",

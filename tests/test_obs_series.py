@@ -1,0 +1,133 @@
+"""Property tests for the metric series primitives in ``repro.obs.series``.
+
+The observability plane must never become a second source of
+nondeterminism or unbounded memory: histograms and counters keep at most
+``max_windows`` closed windows (coarsening doubles the width instead of
+growing the list), the whole-run reservoir is bounded and driven by a
+private per-series RNG, and the quantile helper is exact on its edge
+cases (empty, single sample, all-equal).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.series import (DEFAULT_RESERVOIR, Counter, Gauge,
+                              WindowedHistogram, nearest_rank)
+
+
+# ---------------------------------------------------------------- quantiles
+def test_nearest_rank_empty_is_zero():
+    assert nearest_rank([], 0.5) == 0.0
+    assert nearest_rank([], 0.99) == 0.0
+
+
+def test_nearest_rank_single_sample_is_that_sample():
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert nearest_rank([7.25], q) == 7.25
+
+
+def test_nearest_rank_all_equal_is_the_value():
+    ordered = [3.0] * 17
+    for q in (0.01, 0.5, 0.99):
+        assert nearest_rank(ordered, q) == 3.0
+
+
+def test_nearest_rank_is_exact_on_a_known_sample():
+    ordered = [float(v) for v in range(1, 101)]  # 1..100
+    assert nearest_rank(ordered, 0.50) == 50.0
+    assert nearest_rank(ordered, 0.95) == 95.0
+    assert nearest_rank(ordered, 0.99) == 99.0
+    assert nearest_rank(ordered, 1.0) == 100.0
+
+
+# ----------------------------------------------------------- bounded memory
+def test_histogram_closed_windows_stay_bounded():
+    hist = WindowedHistogram("lat", width=1.0, max_windows=8)
+    rng = random.Random(42)
+    for step in range(5000):
+        hist.observe(float(step) * 0.75, rng.random() * 10.0)
+    assert len(hist._done) <= 8
+    assert len(hist._reservoir) <= DEFAULT_RESERVOIR
+    snapshot = hist.snapshot()
+    assert len(snapshot["windows"]) <= 8 + 1  # closed windows + live window
+    # Coarsening widened the windows instead of growing the list.
+    assert snapshot["width"] > 1.0
+
+
+def test_counter_windows_stay_bounded_and_total_is_exact():
+    counter = Counter("events", width=1.0, max_windows=4)
+    for step in range(1000):
+        counter.inc(float(step), 3)
+    assert counter.total == 3000
+    assert len(counter._done) <= 4
+    assert sum(w[1] for w in counter.snapshot()["windows"]) == 3000
+
+
+def test_gauge_merge_keeps_latest_value_and_peak():
+    gauge = Gauge("open", width=1.0, max_windows=2)
+    gauge.set(0.5, 10.0)
+    gauge.set(1.5, 2.0)
+    gauge.set(2.5, 5.0)
+    gauge.set(9.5, 1.0)  # forces closes + coarsening merges
+    assert gauge.last == 1.0
+    assert gauge.peak == 10.0
+    merged = gauge.snapshot()["windows"]
+    assert len(merged) <= 3
+    assert max(w[2] for w in merged) == 10.0
+
+
+def test_coarsening_preserves_count_and_count_weighted_mean():
+    hist = WindowedHistogram("lat", width=1.0, max_windows=4)
+    values = [(float(t), float(t % 7)) for t in range(64)]
+    for now, value in values:
+        hist.observe(now, value)
+    snapshot = hist.snapshot()
+    assert snapshot["count"] == len(values)
+    total = sum(w[1] * w[2] for w in snapshot["windows"])
+    assert total == pytest.approx(sum(v for _, v in values))
+    assert max(w[3] for w in snapshot["windows"]) == max(v for _, v in values)
+
+
+# ------------------------------------------------------------- determinism
+def _feed(hist: WindowedHistogram, seed: int) -> dict:
+    rng = random.Random(seed)
+    for step in range(4000):
+        hist.observe(step * 0.1, rng.random() * 100.0)
+    return hist.snapshot()
+
+
+def test_reservoir_is_deterministic_for_same_name_and_stream():
+    a = _feed(WindowedHistogram("read_latency", width=5.0), seed=7)
+    b = _feed(WindowedHistogram("read_latency", width=5.0), seed=7)
+    assert a == b
+
+
+def test_reservoir_rng_is_private_to_the_series():
+    """Observing must never draw from (or perturb) the global RNG streams."""
+    random.seed(123)
+    before = random.random()
+    random.seed(123)
+    _feed(WindowedHistogram("read_latency", width=5.0), seed=7)
+    after = random.random()
+    assert before == after
+
+
+def test_quantiles_on_empty_single_and_all_equal_histograms():
+    empty = WindowedHistogram("empty")
+    assert empty.quantile(0.99) == 0.0
+    assert empty.snapshot()["count"] == 0
+
+    single = WindowedHistogram("single")
+    single.observe(1.0, 42.5)
+    assert single.quantile(0.5) == 42.5
+    assert single.quantile(0.99) == 42.5
+
+    flat = WindowedHistogram("flat")
+    for step in range(100):
+        flat.observe(float(step), 9.0)
+    assert flat.quantile(0.01) == 9.0
+    assert flat.quantile(0.99) == 9.0
+    assert flat.snapshot()["mean"] == pytest.approx(9.0)

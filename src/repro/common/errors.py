@@ -63,6 +63,13 @@ class QuorumUnavailableError(ReproError):
     """
 
 
+#: Refusal reason servers attach when NACKing a request addressed to a
+#: configuration they have retired (see ``AresServer``); clients recognise
+#: it via :func:`is_retirement_refusal` and restart from ``read-config``
+#: instead of retrying a gather that can never succeed.
+RETIRED_CONFIG_REASON = "retired-config"
+
+
 class QuorumRefusedError(ReproError):
     """Enough servers *refused* the request that the quorum cannot complete.
 
@@ -72,7 +79,30 @@ class QuorumRefusedError(ReproError):
     ``threshold`` potential acceptances among the processes contacted, the
     phase fails fast with this error -- a *retriable* condition, unlike
     :class:`QuorumUnavailableError` which reflects fail-stop crashes.
+
+    ``reasons`` carries the distinct refusal reason strings collected from
+    the NACKs (empty when the refusals carried none), so callers can treat
+    e.g. retirement refusals differently from resource pressure without
+    parsing the message text.
     """
+
+    def __init__(self, message: str, reasons: "tuple[str, ...]" = ()) -> None:
+        super().__init__(message)
+        self.reasons = tuple(reasons)
+
+
+def is_retirement_refusal(error: BaseException) -> bool:
+    """Whether ``error`` is a quorum refusal caused by retired configurations.
+
+    True only when *every* collected reason is :data:`RETIRED_CONFIG_REASON`:
+    a gather refused partly for resource pressure keeps its ordinary
+    retriable semantics (backoff may find the server drained), whereas a
+    pure retirement refusal is permanent for that configuration and the
+    operation must re-run ``read-config`` to jump past it.
+    """
+    reasons = getattr(error, "reasons", ())
+    return (isinstance(error, QuorumRefusedError) and bool(reasons)
+            and all(reason == RETIRED_CONFIG_REASON for reason in reasons))
 
 
 class RetriesExhaustedError(ReproError):

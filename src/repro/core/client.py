@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.common.errors import QuorumRefusedError, is_retirement_refusal
 from repro.common.ids import ConfigId, ProcessId
 from repro.common.tags import BOTTOM_TAG, TagValue
 from repro.common.values import BOTTOM_VALUE, Value
@@ -51,14 +52,46 @@ class RegisterOpsMixin(SequenceTraversalMixin):
     both data paths at once.
     """
 
+    #: Cap on retirement-refusal restarts of one operation.  Each restart
+    #: re-runs ``read-config``, whose tombstone jump lands at the latest
+    #: finalized index known to the refusing servers, so in practice one
+    #: restart converges; the cap guards against a pathological schedule
+    #: where reconfigurations outrun the client indefinitely.
+    _MAX_RETIREMENT_RESTARTS = 64
+
     def _register_write(self, cseq: ConfigSequence, dap_for, value: Value,
                         key: Optional[str] = None):
-        """Coroutine: the ARES write (Algorithm 7) against one register."""
+        """Coroutine: the ARES write (Algorithm 7) against one register.
+
+        A quorum gather refused purely because the configuration it targeted
+        was retired (a reconfigurer garbage-collected it mid-operation)
+        restarts the operation body from ``read-config``: the refusing
+        servers' tombstones redirect the next traversal past the reclaimed
+        prefix, so the retry gathers over live configurations only.
+        """
         record = None
         started = self.now
         if self.history is not None:
             record = self.history.invoke(self.pid, OperationType.WRITE, self.now,
                                          value_label=value.label, key=key)
+        for restart in range(self._MAX_RETIREMENT_RESTARTS + 1):
+            try:
+                new_pair = yield from self._write_body(cseq, dap_for, value)
+                break
+            except QuorumRefusedError as error:
+                if restart == self._MAX_RETIREMENT_RESTARTS or \
+                        not is_retirement_refusal(error):
+                    raise
+                if self.metrics is not None:
+                    self.metrics.inc("retirement_restarts")
+        if record is not None:
+            self.history.respond(record, self.now, tag=new_pair.tag)
+        if self.metrics is not None:
+            self.metrics.observe("write_latency", self.now - started)
+        return new_pair.tag
+
+    def _write_body(self, cseq: ConfigSequence, dap_for, value: Value):
+        """Coroutine: one attempt at the Algorithm 7 write body."""
         yield from self.read_config(cseq)
         mu = cseq.mu
         nu = cseq.nu
@@ -70,20 +103,38 @@ class RegisterOpsMixin(SequenceTraversalMixin):
                 tag_max = tag
         new_pair = TagValue(tag=tag_max.increment(self.pid), value=value)
         yield from self._register_propagate(cseq, dap_for, new_pair)
-        if record is not None:
-            self.history.respond(record, self.now, tag=new_pair.tag)
-        if self.metrics is not None:
-            self.metrics.observe("write_latency", self.now - started)
-        return new_pair.tag
+        return new_pair
 
     def _register_read(self, cseq: ConfigSequence, dap_for,
                        key: Optional[str] = None):
-        """Coroutine: the ARES read (Algorithm 7); returns the value."""
+        """Coroutine: the ARES read (Algorithm 7); returns the value.
+
+        Restarts on retirement refusals exactly like ``_register_write``.
+        """
         record = None
         started = self.now
         if self.history is not None:
             record = self.history.invoke(self.pid, OperationType.READ, self.now,
                                          key=key)
+        for restart in range(self._MAX_RETIREMENT_RESTARTS + 1):
+            try:
+                best = yield from self._read_body(cseq, dap_for)
+                break
+            except QuorumRefusedError as error:
+                if restart == self._MAX_RETIREMENT_RESTARTS or \
+                        not is_retirement_refusal(error):
+                    raise
+                if self.metrics is not None:
+                    self.metrics.inc("retirement_restarts")
+        if record is not None:
+            self.history.respond(record, self.now, value_label=best.value.label,
+                                 tag=best.tag)
+        if self.metrics is not None:
+            self.metrics.observe("read_latency", self.now - started)
+        return best.value
+
+    def _read_body(self, cseq: ConfigSequence, dap_for):
+        """Coroutine: one attempt at the Algorithm 7 read body."""
         yield from self.read_config(cseq)
         mu = cseq.mu
         nu = cseq.nu
@@ -94,12 +145,7 @@ class RegisterOpsMixin(SequenceTraversalMixin):
             if pair.tag > best.tag:
                 best = pair
         yield from self._register_propagate(cseq, dap_for, best)
-        if record is not None:
-            self.history.respond(record, self.now, value_label=best.value.label,
-                                 tag=best.tag)
-        if self.metrics is not None:
-            self.metrics.observe("read_latency", self.now - started)
-        return best.value
+        return best
 
     def _register_propagate(self, cseq: ConfigSequence, dap_for, pair: TagValue):
         """Algorithm 7 lines 15-21 / 37-43: put-data until the sequence stops growing."""

@@ -79,6 +79,12 @@ class DeploymentSpec:
         and reader (never on reconfigurers), with jitter seeded per process
         from ``seed``.  ``None`` -- the default -- keeps the gather path (and
         the simulator event sequence) byte-identical to builds without retry.
+    gc:
+        Enable configuration retirement: every reconfiguration runs the
+        gc-config phase, retiring (and reclaiming server state for) the
+        configurations before the new last-finalized index.  ``False`` --
+        the default -- keeps executions byte-identical to builds without
+        retirement.
     """
 
     num_servers: int = 5
@@ -95,6 +101,7 @@ class DeploymentSpec:
     direct_state_transfer: bool = False
     record_dap: bool = False
     retry: Optional["RetryPolicy"] = None
+    gc: bool = False
 
 
 class AresDeployment:
@@ -153,7 +160,8 @@ class AresDeployment:
             reconfigurer_class(reconfigurer_id(i), self.network, self.directory,
                                self.initial_configuration, history=self.history,
                                dap_recorder=self.dap_recorder,
-                               consensus_delay=spec.consensus_delay)
+                               consensus_delay=spec.consensus_delay,
+                               gc=spec.gc)
             for i in range(spec.num_reconfigurers)
         ]
 
@@ -250,6 +258,14 @@ class AresDeployment:
     def total_storage_data_bytes(self) -> int:
         """Object-data bytes stored across every server and configuration."""
         return sum(server.storage_data_bytes() for server in self.servers.values())
+
+    def configs_retired(self) -> int:
+        """Configurations reclaimed across the server pool (GC acks)."""
+        return sum(server.configs_retired for server in self.servers.values())
+
+    def bytes_reclaimed(self) -> int:
+        """Object-data bytes reclaimed by retirement across the server pool."""
+        return sum(server.bytes_reclaimed for server in self.servers.values())
 
     def storage_by_configuration(self) -> Dict[ConfigId, int]:
         """Object-data bytes stored per configuration (summed over servers)."""

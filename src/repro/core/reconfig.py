@@ -21,6 +21,20 @@ A ``reconfig(c)`` operation consists of four consecutively executed phases:
     Mark the new configuration ``F`` and propagate the finalized record to a
     quorum of the previous configuration.
 
+When garbage collection is enabled (``gc=True``) a fifth phase follows:
+
+``gc-config``
+    Retire the configurations that precede the new last-finalized index
+    ``µ``.  First a ``CONFIRM-CONFIG`` round establishes the finalized
+    record at a quorum of the *new* configuration (so a redirect target is
+    durable before anything is discarded); then each stale configuration's
+    servers receive ``RETIRE-CONFIG`` -- best-effort, per configuration --
+    telling them to reclaim DAP/acceptor/``nextC`` state behind a tombstone
+    pointing at ``µ``; finally the local sequence prunes its dead prefix
+    (:meth:`~repro.config.sequence.ConfigSequence.prune`).  GC is purely an
+    optimisation: with it disabled every execution is byte-identical to the
+    pre-GC protocol, which the golden-signature suite pins.
+
 Per-object batches
 ------------------
 The four phases are implemented by :class:`ReconfigOpsMixin`, parameterised
@@ -38,6 +52,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro.common.errors import (
+    QuorumRefusedError,
+    QuorumUnavailableError,
+    is_retirement_refusal,
+)
 from repro.common.ids import ConfigId, ProcessId
 from repro.common.tags import BOTTOM_TAG, TagValue
 from repro.common.values import BOTTOM_VALUE
@@ -45,7 +64,9 @@ from repro.config.configuration import Configuration
 from repro.config.sequence import ConfigRecord, ConfigSequence, Status
 from repro.consensus.paxos import PaxosProposer
 from repro.core.directory import ConfigurationDirectory
+from repro.core.server import CONFIRM_CONFIG, RETIRE_CONFIG
 from repro.core.traversal import SequenceTraversalMixin
+from repro.net.message import request
 from repro.dap import make_dap_client
 from repro.dap.interface import DapClient
 from repro.net.network import Network
@@ -71,17 +92,28 @@ class ReconfigOpsMixin(SequenceTraversalMixin):
     consensus_delay: float = 0.0
     #: Number of reconfig operations this client completed.
     completed_reconfigs: int = 0
+    #: Whether the gc-config phase runs after finalize-config.
+    gc_enabled: bool = False
+    #: Number of configurations this client retired (gc-config rounds acked).
+    configs_retired: int = 0
+    #: Cap on retirement-refusal restarts of one reconfig operation.
+    _MAX_RETIREMENT_RESTARTS = 16
 
     def _register_reconfig(self, cseq: ConfigSequence, dap_for, proposed: Configuration,
                            key: Optional[str] = None,
                            update: Optional[Callable] = None):
-        """Coroutine: run all four phases against one register's sequence.
+        """Coroutine: run all phases against one register's sequence.
 
         Returns the configuration that was actually installed at the index
         the proposal targeted (the decided one, which may differ from
         ``proposed`` under contention).  ``update`` optionally overrides the
         update-config phase (the Section 5 direct-transfer path); ``key``
         tags the history record for keyed (store) registers.
+
+        A phase whose quorum gather is refused purely because a contending
+        reconfigurer retired the configuration underneath it restarts the
+        operation from ``read-config``: the retired servers' tombstones make
+        the next traversal jump straight past the reclaimed prefix.
         """
         record = None
         if self.history is not None:
@@ -91,6 +123,35 @@ class ReconfigOpsMixin(SequenceTraversalMixin):
         metrics = self.metrics
         started = self.now
 
+        for restart in range(self._MAX_RETIREMENT_RESTARTS + 1):
+            try:
+                installed, index = yield from self._reconfig_phases(
+                    cseq, dap_for, proposed, update, metrics, started)
+                break
+            except QuorumRefusedError as error:
+                if restart == self._MAX_RETIREMENT_RESTARTS or \
+                        not is_retirement_refusal(error):
+                    raise
+                if metrics is not None:
+                    metrics.inc("reconfig_retirement_restarts")
+
+        # Phase 5: gc-config (optional).
+        if self.gc_enabled:
+            phase_started = self.now
+            yield from self._gc_config(cseq)
+            if metrics is not None:
+                metrics.observe("reconfig_phase:gc-config", self.now - phase_started)
+
+        if metrics is not None:
+            metrics.observe("reconfig_duration", self.now - started)
+        self.completed_reconfigs += 1
+        if record is not None:
+            self.history.respond(record, self.now, config_id=installed.cfg_id)
+        return installed
+
+    def _reconfig_phases(self, cseq: ConfigSequence, dap_for,
+                         proposed: Configuration, update, metrics, started):
+        """Coroutine: one attempt at phases 1-4; returns ``(installed, index)``."""
         # Phase 1: read-config.
         yield from self.read_config(cseq)
         if metrics is not None:
@@ -98,7 +159,7 @@ class ReconfigOpsMixin(SequenceTraversalMixin):
             phase_started = self.now
 
         # Phase 2: add-config.
-        installed = yield from self._add_config(cseq, proposed)
+        installed, index = yield from self._add_config(cseq, proposed)
         if metrics is not None:
             metrics.observe("reconfig_phase:add-config", self.now - phase_started)
             phase_started = self.now
@@ -113,34 +174,42 @@ class ReconfigOpsMixin(SequenceTraversalMixin):
             phase_started = self.now
 
         # Phase 4: finalize-config.
-        yield from self._finalize_config(cseq)
+        yield from self._finalize_config(cseq, index)
         if metrics is not None:
             metrics.observe("reconfig_phase:finalize-config", self.now - phase_started)
-            metrics.observe("reconfig_duration", self.now - started)
-
-        self.completed_reconfigs += 1
-        if record is not None:
-            self.history.respond(record, self.now, config_id=installed.cfg_id)
-        return installed
+        return installed, index
 
     # ----------------------------------------------------------- add-config
     def _add_config(self, cseq: ConfigSequence, proposed: Configuration):
-        """Coroutine: decide the successor of the last configuration and append it."""
+        """Coroutine: decide the successor of the last configuration.
+
+        Returns ``(installed, index)``: the decided configuration and the
+        absolute sequence index it occupies.  The decided value may already
+        sit *anywhere* in the sequence -- a contending reconfigurer can have
+        propagated it (and even successors of it) between our propose and
+        the decision callback -- so membership is checked across the whole
+        retained window, not just against the last entry; appending only
+        when genuinely absent.  (Comparing against ``cseq.last`` alone made
+        ``append`` raise ``ConfigurationError`` in exactly that window.)
+        """
         last = cseq.last.config
         proposer = PaxosProposer(self, last, instance=last.cfg_id,
                                  extra_decision_delay=self.consensus_delay)
         decision = yield from proposer.propose(proposed)
         installed: Configuration = decision.value
         self.directory.register(installed)
-        record = ConfigRecord(installed, Status.PENDING)
-        if cseq.nu >= 0 and cseq.last.config.cfg_id == installed.cfg_id:
+        existing = cseq.index_of(installed.cfg_id)
+        if existing is not None:
             # A concurrent reconfigurer already propagated the decision and we
-            # observed it during read-config; nothing to append.
-            pass
+            # observed it (at whatever index) during read-config; nothing to
+            # append -- propagate the record we already hold.
+            index = existing
+            record = cseq[existing]
         else:
-            cseq.append(record)
+            record = ConfigRecord(installed, Status.PENDING)
+            index = cseq.append(record)
         yield from self.put_config(last, record)
-        return installed
+        return installed, index
 
     # -------------------------------------------------------- update-config
     def _update_config(self, cseq: ConfigSequence, dap_for):
@@ -164,14 +233,78 @@ class ReconfigOpsMixin(SequenceTraversalMixin):
         return best
 
     # ------------------------------------------------------ finalize-config
-    def _finalize_config(self, cseq: ConfigSequence):
-        """Coroutine: mark the last configuration finalized and propagate the record."""
-        nu = cseq.nu
-        cseq.finalize(nu)
-        finalized = cseq[nu]
-        previous = cseq.config_at(nu - 1) if nu > 0 else cseq.config_at(0)
+    def _finalize_config(self, cseq: ConfigSequence, index: Optional[int] = None):
+        """Coroutine: finalize the configuration at ``index`` and propagate the record.
+
+        ``index`` is the index add-config actually installed.  Recomputing
+        ``cseq.nu`` at phase-4 time instead (the old behaviour, kept as the
+        default for the standalone ``finalize_config()`` wrapper) finalizes
+        the wrong entry when a contending reconfigurer extended the sequence
+        between our update-config and finalize-config -- it would mark the
+        *contender's* configuration ``F`` before its state transfer
+        completed.
+        """
+        if index is None:
+            index = cseq.nu
+        cseq.finalize(index)
+        finalized = cseq[index]
+        previous_index = index - 1 if index > 0 else 0
+        if previous_index < cseq.base:
+            # The predecessor was pruned (retired): there is no quorum left
+            # to propagate to, and the tombstones already redirect past it.
+            return finalized
+        previous = cseq.config_at(previous_index)
         yield from self.put_config(previous, finalized)
         return finalized
+
+    # ------------------------------------------------------------ gc-config
+    def _gc_config(self, cseq: ConfigSequence):
+        """Coroutine: retire every configuration strictly before ``µ``.
+
+        Two rounds.  First, ``CONFIRM-CONFIG`` establishes the finalized
+        record at a quorum of the new configuration -- the redirect target
+        must be durable at a live quorum before any predecessor forgets it.
+        Second, each stale configuration's servers receive ``RETIRE-CONFIG``
+        (reclaim state, keep a tombstone to ``µ``); this round is
+        best-effort per configuration: one that already lost too many
+        servers simply stays un-reclaimed, which is safe because traversal
+        never revisits entries before ``µ``.  Finally the local sequence
+        prunes its dead prefix.  Returns the number of configurations whose
+        retirement quorum acked.
+        """
+        mu = cseq.mu
+        stale = cseq.records_before(mu)
+        if not stale:
+            return 0
+        final_record = cseq[mu]
+        target = final_record.config
+        yield self.broadcast_and_gather(
+            target.servers,
+            lambda rid: request(CONFIRM_CONFIG, rid, config_id=target.cfg_id,
+                                metadata_fields=2, record=final_record),
+            threshold=target.consensus_quorums.quorum_size,
+            label="confirm-config",
+        )
+        retired = 0
+        for _, entry in stale:
+            old = entry.config
+            try:
+                yield self.broadcast_and_gather(
+                    old.servers,
+                    lambda rid, old=old: request(
+                        RETIRE_CONFIG, rid, config_id=old.cfg_id,
+                        metadata_fields=3, record=final_record, index=mu),
+                    threshold=old.consensus_quorums.quorum_size,
+                    label="retire-config",
+                )
+            except (QuorumRefusedError, QuorumUnavailableError):
+                continue
+            retired += 1
+            if self.metrics is not None:
+                self.metrics.inc("configs_retired")
+        self.configs_retired += retired
+        cseq.prune(mu)
+        return retired
 
 
 class AresReconfigurer(Process, ReconfigOpsMixin):
@@ -183,6 +316,10 @@ class AresReconfigurer(Process, ReconfigOpsMixin):
         Extra latency added to every consensus decision, modelling the
         ``T(CN)`` term of the latency analysis (the paper treats consensus as
         an external service with its own delay).
+    gc:
+        Run the gc-config phase after every finalize (retire + prune the
+        configurations before ``µ``).  Off by default: with ``gc=False``
+        executions are byte-identical to the pre-retirement protocol.
     """
 
     def __init__(
@@ -194,12 +331,14 @@ class AresReconfigurer(Process, ReconfigOpsMixin):
         history: Optional[History] = None,
         dap_recorder: Optional[DapRecorder] = None,
         consensus_delay: float = 0.0,
+        gc: bool = False,
     ) -> None:
         super().__init__(pid, network)
         self.directory = directory
         self.history = history
         self.dap_recorder = dap_recorder
         self.consensus_delay = consensus_delay
+        self.gc_enabled = gc
         directory.register(initial_configuration)
         self.cseq = ConfigSequence(initial_configuration)
         self._dap_clients: Dict[ConfigId, DapClient] = {}
@@ -226,7 +365,11 @@ class AresReconfigurer(Process, ReconfigOpsMixin):
 
     # ---------------------------------------------- overridable phase wrappers
     def add_config(self, proposed: Configuration):
-        """Coroutine: the add-config phase against this client's ``cseq``."""
+        """Coroutine: the add-config phase against this client's ``cseq``.
+
+        Returns ``(installed, index)`` -- the decided configuration and the
+        absolute sequence index it occupies.
+        """
         return self._add_config(self.cseq, proposed)
 
     def update_config(self):

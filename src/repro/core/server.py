@@ -13,12 +13,28 @@ The ``nextC`` update rule follows Algorithm 6: a WRITE-CONFIG installs the
 incoming record if the current value is ``⊥`` or still pending; a finalized
 record is never overwritten (and by consensus Agreement the configuration
 member never changes).
+
+Retirement
+----------
+Configuration retirement (the GC phase of
+:class:`~repro.core.reconfig.ReconfigOpsMixin`) reclaims everything above:
+a ``RETIRE-CONFIG`` message -- sent only after a quorum of the finalized
+successor acked a ``CONFIRM-CONFIG`` round -- makes the server drop the
+configuration's DAP state, its Paxos acceptor state and its ``nextC``
+record, keeping a compact **tombstone**: the finalized successor's record
+plus its absolute GL index.  A client arriving with a stale ``cseq`` asks a
+retired configuration for its ``nextC`` and receives the tombstone as a
+redirect, converging in one hop (the mirror of
+:meth:`repro.store.shardmap.ShardMap.forward`) instead of replaying the
+chain; DAP and consensus traffic for a retired configuration is refused
+with an explicit NACK so quorum gathers fail fast rather than stall.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.common.errors import RETIRED_CONFIG_REASON
 from repro.common.ids import ConfigId, ProcessId
 from repro.config.configuration import Configuration
 from repro.config.sequence import ConfigRecord, Status
@@ -37,6 +53,14 @@ from repro.sim.process import Process
 
 READ_CONFIG = "ARES-READ-CONFIG"
 WRITE_CONFIG = "ARES-WRITE-CONFIG"
+#: GC phase, round 1: the reconfigurer asks a quorum of the *new* (finalized)
+#: configuration to acknowledge the finalized record before anything is
+#: discarded -- the paper's "quorum of the new configuration is established"
+#: precondition for pruning.
+CONFIRM_CONFIG = "ARES-CONFIRM-CONFIG"
+#: GC phase, round 2: reclaim a retired configuration's server state, leaving
+#: a tombstone redirect to the finalized successor.
+RETIRE_CONFIG = "ARES-RETIRE-CONFIG"
 
 _PAXOS_KINDS = (PREPARE, ACCEPT, DECIDED)
 
@@ -77,6 +101,17 @@ class AresServer(Process):
         #: Paxos acceptor state per consensus instance (keyed by the
         #: configuration whose successor the instance decides).
         self.acceptors: Dict[ConfigId, PaxosAcceptorState] = {}
+        #: Tombstones for retired configurations: the finalized successor's
+        #: record and its absolute GL index, replacing the reclaimed
+        #: ``nextC``/DAP/acceptor state.
+        self.retired: Dict[ConfigId, Tuple[ConfigRecord, int]] = {}
+        #: Finalized records confirmed at this server by the GC phase's
+        #: CONFIRM-CONFIG round (this server as a *successor* member).
+        self.confirmed_final: Dict[ConfigId, ConfigRecord] = {}
+        #: Retirement accounting: configurations reclaimed here and the
+        #: object-data bytes their DAP states held when reclaimed.
+        self.configs_retired = 0
+        self.bytes_reclaimed = 0
         #: Admission governor under injected resource pressure
         #: (:class:`~repro.chaos.resources.ResourceGovernor`); ``None`` --
         #: the default, a single attribute test on the dispatch path --
@@ -105,6 +140,12 @@ class AresServer(Process):
         if kind == WRITE_CONFIG:
             self._on_write_config(src, message)
             return
+        if kind == CONFIRM_CONFIG:
+            self._on_confirm_config(src, message)
+            return
+        if kind == RETIRE_CONFIG:
+            self._on_retire_config(src, message)
+            return
         if kind in _PAXOS_KINDS:
             self._on_paxos(src, message)
             return
@@ -113,6 +154,15 @@ class AresServer(Process):
     # ----------------------------------------------------- nextC (Algorithm 6)
     def _on_read_config(self, src: ProcessId, message: Message) -> None:
         cfg_id: ConfigId = message.config_id
+        tombstone = self.retired.get(cfg_id)
+        if tombstone is not None:
+            # Redirect: the finalized successor plus its GL index, so a
+            # stale client re-bases its whole sequence in one hop instead of
+            # walking reclaimed links.
+            record, index = tombstone
+            self.send(src, reply(message, kind="ARES-NEXT-CONFIG",
+                                 metadata_fields=3, record=record, jump=index))
+            return
         record = self.next_config.get(cfg_id)
         self.send(src, reply(message, kind="ARES-NEXT-CONFIG", metadata_fields=2,
                              record=record))
@@ -120,14 +170,65 @@ class AresServer(Process):
     def _on_write_config(self, src: ProcessId, message: Message) -> None:
         cfg_id: ConfigId = message.config_id
         incoming: ConfigRecord = message["record"]
+        if cfg_id in self.retired:
+            # The configuration is gone and its tombstone already points at
+            # a finalized record at or past the incoming link; ack benignly
+            # so in-flight put-config rounds complete without stalling.
+            self.send(src, reply(message, kind="ARES-CONFIG-ACK"))
+            return
         current = self.next_config.get(cfg_id)
         if current is None or current.status is Status.PENDING:
             self.next_config[cfg_id] = incoming
         self.send(src, reply(message, kind="ARES-CONFIG-ACK"))
 
+    # ----------------------------------------------------------- retirement
+    def _on_confirm_config(self, src: ProcessId, message: Message) -> None:
+        """Acknowledge (as a successor member) that a record is finalized.
+
+        The GC phase only retires predecessors once a quorum of the new
+        configuration acked this round, so the finalized record is durable
+        across that quorum before any redirect points at it.
+        """
+        record: ConfigRecord = message["record"]
+        self.confirmed_final[message.config_id] = record
+        self.send(src, reply(message, kind="ARES-CONFIRM-ACK"))
+
+    def _on_retire_config(self, src: ProcessId, message: Message) -> None:
+        """Reclaim a retired configuration's state, keeping a tombstone."""
+        cfg_id: ConfigId = message.config_id
+        successor: ConfigRecord = message["record"]
+        index: int = message["index"]
+        existing = self.retired.get(cfg_id)
+        if existing is None or existing[1] < index:
+            self.retired[cfg_id] = (successor, index)
+        if existing is None:
+            state = self.dap_states.pop(cfg_id, None)
+            reclaimed = state.storage_data_bytes() if state is not None else 0
+            self.acceptors.pop(cfg_id, None)
+            self.next_config.pop(cfg_id, None)
+            self.configs_retired += 1
+            self.bytes_reclaimed += reclaimed
+            if self.metrics is not None:
+                if reclaimed:
+                    self.metrics.inc("bytes_reclaimed", reclaimed)
+        self.send(src, reply(message, kind="ARES-RETIRE-ACK"))
+
+    def _refuse_retired(self, src: ProcessId, message: Message) -> None:
+        """NACK traffic addressed to a retired configuration (fail fast)."""
+        if self.metrics is not None:
+            self.metrics.inc("srv_nacks")
+        if message.request_id is not None:
+            self.send(src, reply(message, kind="SRV-NACK", nack=True,
+                                 error=RETIRED_CONFIG_REASON))
+
     # ---------------------------------------------------------------- Paxos
     def _on_paxos(self, src: ProcessId, message: Message) -> None:
         instance: ConfigId = message["instance"]
+        if instance in self.retired:
+            # The instance's configuration is retired; never resurrect its
+            # acceptor state (the decision it reached is finalized history).
+            self._refuse_retired(src, message)
+            return
         acceptor = self.acceptors.setdefault(instance, PaxosAcceptorState())
         response = acceptor.handle(message)
         if response is not None and message.kind != DECIDED:
@@ -138,6 +239,9 @@ class AresServer(Process):
         cfg_id = message.config_id
         if cfg_id is None:
             return
+        if cfg_id in self.retired:
+            self._refuse_retired(src, message)
+            return
         state = self.dap_state_for(cfg_id)
         if state is None or not state.handles(message.kind):
             return
@@ -146,10 +250,16 @@ class AresServer(Process):
             self.send(src, response)
 
     def dap_state_for(self, cfg_id: ConfigId) -> Optional[DapServerState]:
-        """The DAP state for ``cfg_id``, created lazily if this server is a member."""
+        """The DAP state for ``cfg_id``, created lazily if this server is a member.
+
+        Retired configurations never resurrect: once reclaimed, the answer
+        is ``None`` regardless of membership.
+        """
         state = self.dap_states.get(cfg_id)
         if state is not None:
             return state
+        if cfg_id in self.retired:
+            return None
         configuration = self.directory.maybe_get(cfg_id)
         if configuration is None or self.pid not in configuration.servers:
             return None
@@ -160,9 +270,37 @@ class AresServer(Process):
 
     # ------------------------------------------------------------ accounting
     def storage_data_bytes(self) -> int:
-        """Object-data bytes stored across all configurations at this server."""
+        """Object-data bytes stored across all configurations at this server.
+
+        Sums the instantiated DAP states.  Members this server never served
+        hold exactly the lazily-created initial state -- Φ(v0) over the
+        zero-byte bottom value -- so they contribute 0 without being
+        materialised (accounting must never allocate protocol state: the
+        resource governor reads this figure on the admission hot path).
+        The invariant "a fresh DAP state stores 0 data bytes" is pinned by
+        the retirement test suite for every DAP kind.
+        """
         return sum(state.storage_data_bytes() for state in self.dap_states.values())
 
-    def member_configurations(self) -> list:
-        """Configuration ids for which this server currently holds DAP state."""
+    def member_configurations(self) -> List[ConfigId]:
+        """Configuration ids this server is a *member* of (truthful view).
+
+        Consults the directory rather than the lazily-instantiated DAP
+        states, so configurations this server belongs to but never served
+        are counted too; retired configurations are excluded (their state
+        has been reclaimed).  Registration order.
+        """
+        return [
+            configuration.cfg_id
+            for configuration in self.directory
+            if self.pid in configuration.servers
+            and configuration.cfg_id not in self.retired
+        ]
+
+    def instantiated_configurations(self) -> List[ConfigId]:
+        """Configuration ids for which DAP state actually exists here.
+
+        The lazy-instantiation view :meth:`member_configurations` used to
+        (mis)report; kept for the laziness tests and memory diagnostics.
+        """
         return list(self.dap_states)

@@ -15,13 +15,21 @@ state remains discoverable by later operations:
   traverses to the previous configuration on the way (which is what makes
   the Configuration Prefix and Progress lemmas hold).
 
+Servers that have *retired* a configuration answer ``read-next-config`` with
+a tombstone redirect -- the finalized successor's record plus its absolute GL
+index -- instead of a plain ``nextC`` link.  ``read-config`` handles these by
+re-basing the sequence (:meth:`~repro.config.sequence.ConfigSequence.jump_to`)
+onto the redirect target and resuming the walk from there, so a client whose
+``cseq`` starts at a retired configuration converges in one hop rather than
+replaying reclaimed links.
+
 The helper is written as a mixin so the ARES clients and the reconfigurer
 share one implementation.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.config.configuration import Configuration
 from repro.config.sequence import ConfigRecord, ConfigSequence, Status
@@ -39,6 +47,8 @@ class SequenceTraversalMixin:
 
     #: Number of ``read-config`` invocations performed (diagnostics/benchmarks).
     read_config_count: int = 0
+    #: Number of tombstone redirects followed (stale clients converging).
+    tombstone_jumps: int = 0
 
     # ----------------------------------------------------- primitive actions
     def read_next_config(self, configuration: Configuration):
@@ -48,19 +58,44 @@ class SequenceTraversalMixin:
         quorums) of ``configuration.servers``; prefers finalized records over
         pending ones, mirroring Algorithm 4 lines 16-21.
         """
+        record, _ = yield from self._read_next_config_entry(configuration)
+        return record
+
+    def _read_next_config_entry(self, configuration: Configuration):
+        """Coroutine: the ``nextC`` record plus its tombstone jump index.
+
+        Returns ``(record, jump)`` where ``jump`` is the absolute GL index a
+        retirement tombstone redirects to, or ``None`` for an ordinary link.
+        Among tombstone replies the farthest redirect wins (every tombstone
+        target is finalized, so farther is strictly more recent); otherwise
+        finalized records are preferred over pending ones.
+        """
         replies = yield self.broadcast_and_gather(
             configuration.servers,
             lambda rid: request(READ_CONFIG, rid, config_id=configuration.cfg_id),
             threshold=configuration.consensus_quorums.quorum_size,
             label="read-next-config",
         )
-        records = [msg["record"] for _, msg in replies if msg["record"] is not None]
+        best_jump: Optional[Tuple[ConfigRecord, int]] = None
+        records = []
+        for _, msg in replies:
+            record = msg["record"]
+            if record is None:
+                continue
+            jump = msg.get("jump")
+            if jump is not None:
+                if best_jump is None or jump > best_jump[1]:
+                    best_jump = (record, jump)
+            else:
+                records.append(record)
+        if best_jump is not None:
+            return best_jump
         if not records:
-            return None
+            return None, None
         for record in records:
             if record.status is Status.FINALIZED:
-                return record
-        return records[0]
+                return record, None
+        return records[0], None
 
     def put_config(self, configuration: Configuration, record: ConfigRecord):
         """Coroutine: write ``record`` to the ``nextC`` of a quorum of ``configuration``."""
@@ -79,19 +114,35 @@ class SequenceTraversalMixin:
 
         Mutates and returns ``seq``: newly discovered records are appended
         (or upgrade the status of existing entries), and every traversed link
-        is propagated to the previous configuration with ``put-config``.
+        is propagated to the previous configuration with ``put-config``.  A
+        tombstone redirect re-bases ``seq`` onto the finalized target and the
+        walk resumes from there; the jump hop itself is not propagated
+        backwards (the predecessors are retired -- there is nothing to write
+        to and nothing left to discover through them).
         """
         self.read_config_count += 1
         index = seq.mu
         current = seq.config_at(index)
         while True:
-            record = yield from self.read_next_config(current)
+            record, jump = yield from self._read_next_config_entry(current)
             if record is None:
                 break
             self._register_record(record)
-            index += 1
-            seq.set_record(index, record)
-            yield from self.put_config(seq.config_at(index - 1), record)
+            if jump is not None:
+                if jump <= index:
+                    # A tombstone can only point forwards (it names the
+                    # finalized successor of a retired predecessor); one at
+                    # or behind our position carries nothing new.
+                    break
+                seq.jump_to(jump, record)
+                self.tombstone_jumps += 1
+                if self.metrics is not None:
+                    self.metrics.inc("tombstone_jumps")
+                index = jump
+            else:
+                index += 1
+                seq.set_record(index, record)
+                yield from self.put_config(seq.config_at(index - 1), record)
             current = record.config
         return seq
 

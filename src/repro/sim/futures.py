@@ -183,7 +183,25 @@ class QuorumFuture(SimFuture):
                 and self.expected - len(self.nacks) < self.threshold):
             self.set_exception(QuorumRefusedError(
                 f"{self.label or 'quorum'}: {len(self.nacks)} of {self.expected} "
-                f"contacted processes refused; threshold {self.threshold} unreachable"))
+                f"contacted processes refused; threshold {self.threshold} unreachable",
+                reasons=self._nack_reasons()))
+
+    def _nack_reasons(self) -> tuple:
+        """Distinct refusal reasons collected so far, in first-seen order.
+
+        NACKs arrive as ``(sender, message)`` pairs from the process layer
+        (duck-typed: anything with ``.get("error")`` works), so the error
+        can carry *why* the quorum refused -- resource pressure vs retired
+        configuration -- without changing its message text.
+        """
+        reasons: List[str] = []
+        for nack in self.nacks:
+            message = nack[1] if isinstance(nack, tuple) and len(nack) == 2 else nack
+            getter = getattr(message, "get", None)
+            reason = getter("error") if getter is not None else None
+            if reason and reason not in reasons:
+                reasons.append(reason)
+        return tuple(reasons)
 
 
 class Timer(SimFuture):

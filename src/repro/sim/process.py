@@ -23,6 +23,7 @@ from repro.common.errors import (
     QuorumRefusedError,
     QuorumUnavailableError,
     RetriesExhaustedError,
+    is_retirement_refusal,
 )
 from repro.common.ids import ProcessId
 from repro.sim.core import Simulator
@@ -430,6 +431,13 @@ class Process:
                 yield any_of(self.sim, [gather, timer], label=f"{label}:attempt")
             except (QuorumRefusedError, QuorumUnavailableError) as error:
                 timer.cancel()
+                if is_retirement_refusal(error):
+                    # The configuration was retired: re-broadcasting the same
+                    # gather can never succeed (retirement is permanent, not
+                    # pressure that drains).  Surface immediately so the
+                    # protocol layer restarts from read-config and converges
+                    # through the tombstone instead of burning the budget.
+                    raise
                 last_failure = error
                 continue
             if gather.done():

@@ -68,6 +68,10 @@ class StoreSpec:
         A :class:`~repro.sim.process.RetryPolicy` installed on every writer
         and reader (never on reconfigurers); ``None`` keeps the gather path
         byte-identical to builds without retry.
+    gc:
+        Enable per-key configuration retirement on the reconfigurers (see
+        :class:`~repro.store.reconfigurer.ShardReconfigurer`); ``False``
+        keeps executions byte-identical to builds without retirement.
     """
 
     shards: Tuple[ShardSpec, ...] = (ShardSpec(), ShardSpec())
@@ -78,6 +82,7 @@ class StoreSpec:
     seed: int = 0
     record_dap: bool = False
     retry: Optional[RetryPolicy] = None
+    gc: bool = False
 
 
 class StoreDeployment:
@@ -133,7 +138,7 @@ class StoreDeployment:
         self.reconfigurers: List[ShardReconfigurer] = [
             ShardReconfigurer(reconfigurer_id(i), self.network, self.directory,
                               self.shard_map, history=self.history,
-                              dap_recorder=self.dap_recorder)
+                              dap_recorder=self.dap_recorder, gc=spec.gc)
             for i in range(spec.num_reconfigurers)
         ]
         self._next_server_index = next_index
@@ -259,6 +264,14 @@ class StoreDeployment:
     def total_storage_data_bytes(self) -> int:
         """Object-data bytes stored across every server and object."""
         return sum(server.storage_data_bytes() for server in self.servers.values())
+
+    def configs_retired(self) -> int:
+        """Configurations reclaimed across the server pool (GC acks)."""
+        return sum(server.configs_retired for server in self.servers.values())
+
+    def bytes_reclaimed(self) -> int:
+        """Object-data bytes reclaimed by retirement across the server pool."""
+        return sum(server.bytes_reclaimed for server in self.servers.values())
 
     def storage_by_shard(self) -> Dict[int, int]:
         """Object-data bytes stored per shard (summed over its servers)."""

@@ -79,6 +79,12 @@ class ShardReconfigurer(Process, ReconfigOpsMixin):
         Optional recorder of DAP invocations (consistency-property tests).
     consensus_delay:
         Extra latency per consensus decision (the ``T(CN)`` knob).
+    gc:
+        Enable per-key configuration retirement: each key's reconfiguration
+        runs the gc-config phase, retiring the key's superseded
+        configurations so the source slice's storage actually shrinks after
+        a migration.  ``False`` keeps executions byte-identical to builds
+        without retirement.
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class ShardReconfigurer(Process, ReconfigOpsMixin):
         history: Optional[History] = None,
         dap_recorder: Optional[DapRecorder] = None,
         consensus_delay: float = 0.0,
+        gc: bool = False,
     ) -> None:
         super().__init__(pid, network)
         self.directory = directory
@@ -97,6 +104,7 @@ class ShardReconfigurer(Process, ReconfigOpsMixin):
         self.history = history
         self.dap_recorder = dap_recorder
         self.consensus_delay = consensus_delay
+        self.gc_enabled = gc
         self._keys: Dict[str, _KeyReconfigState] = {}
         self.completed_reconfigs = 0
         #: Number of shard migrations / key-range rebalances completed.

@@ -177,6 +177,17 @@ def execute_run(spec: RunSpec, streaming: bool = False,
                         f"grid axis fault_rate has no effect: scenario "
                         f"{spec.scenario!r} has no stochastic background; "
                         f"use a *_gray_degradation scenario")
+                if "gc" in scenario_overrides and scenario.num_reconfigs == 0 \
+                        and "num_reconfigs" not in scenario_overrides \
+                        and "reconfig" not in scenario.faults:
+                    # Retirement only runs as a reconfiguration phase; on a
+                    # scenario that never reconfigures (neither a session
+                    # nor schedule-fired migrations) a gc axis expands to
+                    # byte-identical cells.
+                    raise ValueError(
+                        f"grid axis gc has no effect: scenario "
+                        f"{spec.scenario!r} never reconfigures; add a "
+                        f"num_reconfigs axis or pick a reconfig scenario")
         result = run_scenario_instance(scenario, seed=spec.seed,
                                        streaming=streaming, metrics=metrics)
 

@@ -64,12 +64,33 @@ WORKLOAD_PARAM_FIELDS: Dict[str, type] = {
 #: ``0.0`` arms nothing, and raising it degrades the run until client
 #: retries exhaust -- a monotone pass/fail axis, so
 #: ``--bisect "fault_rate=0.0..0.5"`` maps the maximum survivable rate.
-#: Only scenarios with a stochastic background accept it.
+#: Only scenarios with a stochastic background accept it.  ``gc`` toggles
+#: configuration retirement (``gc=0,1`` runs each cell with and without the
+#: gc-config phase -- the storage-vs-traffic comparison of the retirement
+#: evaluation); only scenarios that actually reconfigure accept it.
+def _parse_bool(text: str) -> bool:
+    """Parse a grid bool: ``0/1``, ``true/false``, ``yes/no``, ``on/off``.
+
+    ``bool(...)`` is useless as a string parser (``bool("0")`` is True), so
+    boolean axes get an explicit vocabulary; anything else is an error.
+    """
+    if isinstance(text, bool):
+        return text
+    lowered = str(text).strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"boolean grid value {text!r} (use 0/1, true/false, "
+                     "yes/no or on/off)")
+
+
 SCENARIO_PARAM_FIELDS: Dict[str, type] = {
     "num_reconfigs": int,
     "reconfig_cadence": float,
     "fresh_servers": int,
     "fault_rate": float,
+    "gc": _parse_bool,
 }
 
 #: Every grid-overridable field (the union the parser and validator accept).

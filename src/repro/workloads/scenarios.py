@@ -163,6 +163,14 @@ class ChaosScenario:
         bisect each DAP's maximum survivable rate.  At the default 0.0 a
         stochastic background arms nothing, so the run is byte-identical
         to the background-free scenario.
+    gc:
+        Enable configuration retirement on the deployment's reconfigurers:
+        every reconfiguration runs the gc-config phase, retiring superseded
+        configurations (server state reclaimed behind tombstone redirects)
+        and pruning the local sequences.  A plain scenario field so the
+        sweep engine can use it as a grid axis; at the default ``False``
+        the run is byte-identical to the retirement-free protocol, which
+        the golden-signature suite pins.
     slos:
         Quantitative service-level assertions (:class:`~repro.obs.slo.SLO`)
         evaluated against the run's :class:`~repro.obs.report.MetricsReport`
@@ -185,6 +193,7 @@ class ChaosScenario:
     fresh_servers: int = 0
     fault_rate: float = 0.0
     background: Optional[Callable[[AresDeployment, "ChaosScenario"], Schedule]] = None
+    gc: bool = False
     slos: Tuple[slo.SLO, ...] = ()
 
 
@@ -405,6 +414,12 @@ def run_scenario_instance(scenario: ChaosScenario, seed: int = 0,
     """
     name = scenario.name
     deployment = scenario.deployment(seed)
+    if scenario.gc:
+        # Retirement is a reconfigurer-side switch; flipping it on the built
+        # deployment (rather than through every factory) is what lets the
+        # sweep engine toggle it per grid cell with dataclasses.replace.
+        for reconfigurer in deployment.reconfigurers:
+            reconfigurer.gc_enabled = True
     if streaming:
         deployment.history.enable_streaming(window_limit=window_limit)
     # The deployment already seeded its simulator with the bare integer;
@@ -899,6 +914,35 @@ register_scenario(ChaosScenario(
     workload=WorkloadSpec(operations_per_writer=4, operations_per_reader=4,
                           value_size=256, think_time=2.0,
                           num_keys=16, key_distribution="zipf", zipf_s=1.4),
+))
+
+
+def _store_gc_crash(deployment: StoreDeployment) -> Schedule:
+    """Crash one shard-0 server after its keys migrated off and were retired.
+
+    The reconfiguration session (cadence 6.0) migrates shard 0 onto fresh
+    servers first; by t=22 its old configurations are retired, so the crash
+    exercises the "retired quorum partially gone" path of best-effort
+    retirement *and* leaves stale clients to converge through tombstones on
+    a degraded (but within ABD-5 tolerance) old slice.
+    """
+    victims = deployment.shard_map.servers_for_key("k0")
+    return Schedule([At(22, Crash(victims[-1]))])
+
+
+register_scenario(ChaosScenario(
+    name="store_migration_gc",
+    description=("Sharded ABD store live-migrating every shard onto fresh "
+                 "servers with configuration retirement (gc) on: old-slice "
+                 "state is reclaimed behind tombstones while stale clients "
+                 "and a crash keep hitting the retired configurations"),
+    dap="store", faults=("reconfig", "crash"),
+    deployment=_store_abd_deployment,
+    schedule=_store_gc_crash,
+    workload=WorkloadSpec(operations_per_writer=3, operations_per_reader=3,
+                          value_size=256, think_time=2.0, num_keys=10),
+    num_reconfigs=3, reconfig_cadence=6.0, fresh_servers=5,
+    gc=True,
 ))
 
 

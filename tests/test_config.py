@@ -229,3 +229,135 @@ class TestConfigSequence:
     def test_describe(self):
         seq = ConfigSequence(self._initial())
         assert "c0" in seq.describe()
+
+
+class TestConfigSequencePruning:
+    """Retirement-side sequence semantics: prune, jump_to, and the µ cache."""
+
+    def _initial(self):
+        return Configuration.abd(config_id(0), servers(3))
+
+    def _cfg(self, index: int) -> Configuration:
+        return Configuration.abd(config_id(index), servers(3, start=3 * index))
+
+    def _chain(self, length: int) -> ConfigSequence:
+        seq = ConfigSequence(self._initial())
+        for index in range(1, length):
+            seq.append(ConfigRecord(self._cfg(index), Status.FINALIZED))
+        return seq
+
+    def test_prune_keeps_absolute_indices(self):
+        seq = self._chain(4)
+        seq.append(ConfigRecord(self._cfg(4), Status.PENDING))
+        assert (seq.mu, seq.nu) == (3, 4)
+        dropped = seq.prune(3)
+        assert dropped == 3
+        assert seq.base == 3
+        # µ/ν and index arithmetic keep their paper meaning after the prune.
+        assert (seq.mu, seq.nu) == (3, 4)
+        assert len(seq) == 5
+        assert seq.config_at(3).cfg_id == config_id(3)
+        assert seq.last_finalized().cfg_id == config_id(3)
+        assert [r.config.cfg_id for r in seq.pending_suffix()] == [
+            config_id(3), config_id(4)]
+        assert "3 pruned" in seq.describe()
+
+    def test_pruned_index_access_raises(self):
+        seq = self._chain(3)
+        seq.prune(2)
+        with pytest.raises(ConfigurationError):
+            seq.config_at(0)
+        with pytest.raises(ConfigurationError):
+            seq.set_record(1, ConfigRecord(self._cfg(1), Status.FINALIZED))
+
+    def test_prune_beyond_mu_rejected(self):
+        seq = self._chain(2)
+        seq.append(ConfigRecord(self._cfg(2), Status.PENDING))
+        with pytest.raises(ConfigurationError):
+            seq.prune(2)
+
+    def test_prune_is_idempotent(self):
+        seq = self._chain(3)
+        assert seq.prune(2) == 2
+        assert seq.prune(2) == 0
+        assert seq.prune(1) == 0  # already behind the base
+
+    def test_jump_to_rebases_past_unknown_entries(self):
+        seq = ConfigSequence(self._initial())
+        target = self._cfg(5)
+        seq.jump_to(5, ConfigRecord(target, Status.FINALIZED))
+        assert (seq.base, seq.mu, seq.nu) == (5, 5, 5)
+        assert seq.last_finalized().cfg_id == config_id(5)
+        # The walk can continue normally past the jump target.
+        seq.set_record(6, ConfigRecord(self._cfg(6), Status.PENDING))
+        assert seq.nu == 6
+
+    def test_jump_to_inside_window_degrades_to_set_record(self):
+        seq = self._chain(3)
+        seq.jump_to(2, ConfigRecord(self._cfg(2), Status.FINALIZED))
+        assert seq.base == 0 and len(seq) == 3
+        with pytest.raises(ConfigurationError):
+            # Uniqueness still enforced on the degraded path.
+            seq.jump_to(2, ConfigRecord(self._cfg(9), Status.FINALIZED))
+
+    def test_jump_to_pending_record_rejected(self):
+        seq = ConfigSequence(self._initial())
+        with pytest.raises(ConfigurationError):
+            seq.jump_to(3, ConfigRecord(self._cfg(3), Status.PENDING))
+
+    def test_records_before_and_index_of(self):
+        seq = self._chain(4)
+        seq.prune(2)
+        assert [(i, r.config.cfg_id) for i, r in seq.records_before(3)] == [
+            (2, config_id(2))]
+        assert seq.index_of(config_id(3)) == 3
+        assert seq.index_of(config_id(0)) is None  # pruned
+        assert seq.index_of(config_id(99)) is None
+
+    def test_copy_preserves_base_and_mu(self):
+        seq = self._chain(3)
+        seq.append(ConfigRecord(self._cfg(3), Status.PENDING))
+        seq.prune(2)
+        clone = seq.copy()
+        assert (clone.base, clone.mu, clone.nu) == (seq.base, seq.mu, seq.nu)
+        assert clone.is_prefix_of(seq) and seq.is_prefix_of(clone)
+
+    def test_prefix_order_across_different_bases(self):
+        long = self._chain(4)
+        short = self._chain(3)
+        long.prune(3)
+        assert short.is_prefix_of(long)
+        assert not long.is_prefix_of(short)
+
+    @given(st.lists(st.sampled_from(["append_p", "append_f", "finalize",
+                                     "prune", "jump"]),
+                    max_size=40))
+    def test_mu_cache_matches_backward_scan(self, ops):
+        """The cached µ equals the reference scan after any op interleaving."""
+        seq = ConfigSequence(self._initial())
+        next_index = 1
+        for op in ops:
+            if op == "append_p":
+                seq.append(ConfigRecord(self._cfg(next_index), Status.PENDING))
+                next_index += 1
+            elif op == "append_f":
+                seq.append(ConfigRecord(self._cfg(next_index), Status.FINALIZED))
+                next_index += 1
+            elif op == "finalize":
+                # Finalize the first pending entry, if any (upgrade via
+                # set_record half the time to cover both mutators).
+                for index in range(seq.base, seq.nu + 1):
+                    if seq[index].status is Status.PENDING:
+                        if index % 2:
+                            seq.finalize(index)
+                        else:
+                            seq.set_record(index, seq[index].finalized())
+                        break
+            elif op == "prune":
+                seq.prune(seq.mu)
+            elif op == "jump":
+                target = max(seq.nu + 2, next_index)
+                seq.jump_to(target,
+                            ConfigRecord(self._cfg(target), Status.FINALIZED))
+                next_index = target + 1
+            assert seq.mu == seq.mu_scan(), f"after {op}: {seq.describe()}"

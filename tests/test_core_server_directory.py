@@ -108,12 +108,16 @@ class TestAresServerRouting:
 
     def test_dap_state_created_lazily_only_for_members(self):
         sim, network, directory, servers, cfg, probe = build()
-        # Before any DAP traffic, no state exists.
-        assert servers[0].member_configurations() == []
+        # Before any DAP traffic, no state is instantiated -- but membership
+        # is truthful: the server *is* a member of the registered config.
+        assert servers[0].instantiated_configurations() == []
+        assert servers[0].member_configurations() == [cfg.cfg_id]
+        assert servers[0].storage_data_bytes() == 0
         element = cfg.code.encode(Value.of_size(20, label="x"))[0]
         probe.send(servers[0].pid, request(PUT_DATA, 1, config_id=cfg.cfg_id,
                                            tag=Tag(1, writer_id(0)), element=element))
         sim.run()
+        assert servers[0].instantiated_configurations() == [cfg.cfg_id]
         assert cfg.cfg_id in servers[0].member_configurations()
         assert servers[0].storage_data_bytes() > 0
 
@@ -124,7 +128,7 @@ class TestAresServerRouting:
                                            tag=Tag(1, writer_id(0)), element=element))
         sim.run()
         assert probe.replies == []
-        assert servers[0].member_configurations() == []
+        assert servers[0].instantiated_configurations() == []
 
     def test_dap_message_to_non_member_ignored(self):
         sim, network, directory, servers, cfg, probe = build()

@@ -134,6 +134,26 @@ class TestReadme:
         exec(compile(match.group(1), "README:reconfig-quickstart", "exec"), {})
         assert capsys.readouterr().out.strip() == "2"
 
+    def test_readme_gc_quickstart_executes(self, capsys):
+        """The configuration-retirement snippet is real code: run it verbatim.
+
+        Extracts the fenced Python block under the "Retiring old
+        configurations (GC)" heading and executes it; the snippet's own
+        assert checks the value survived retirement, and the final print
+        reports the retired-config and reclaimed-byte counts the prose
+        promises.
+        """
+        import re
+
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "### Retiring old configurations (GC)" in readme
+        section = readme.split("### Retiring old configurations (GC)")[1]
+        section = section.split("\n## ")[0]
+        match = re.search(r"```python\n(.*?)```", section, re.S)
+        assert match, "gc quickstart has no python code block"
+        exec(compile(match.group(1), "README:gc-quickstart", "exec"), {})
+        assert capsys.readouterr().out.strip() == "4 1024"
+
     def test_readme_gray_failure_quickstart_executes(self, capsys):
         """The gray-failure snippet is real code: run it verbatim.
 

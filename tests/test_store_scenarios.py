@@ -19,9 +19,10 @@ from repro.workloads.scenarios import get_scenario, run_scenario
 
 STORE_SCENARIOS = ("store_mixed_dap_storm", "store_hot_shard_crash",
                    "store_partition_across_shards")
-#: PR-5 reconfiguration scenarios (covered in depth by test_store_reconfig.py).
+#: PR-5 reconfiguration scenarios (covered in depth by test_store_reconfig.py);
+#: store_migration_gc (covered by test_retirement.py) rides the same glob.
 RECONFIG_SCENARIOS = ("store_shard_migration_storm", "store_dap_flip_under_chaos",
-                      "store_rebalance_hot_range")
+                      "store_rebalance_hot_range", "store_migration_gc")
 
 
 class TestStoreScenarios:
@@ -93,7 +94,7 @@ class TestStoreSweepIntegration:
         grid = parse_grid("scenarios=store_*;seeds=0;num_keys=4,8")
         assert grid.scenarios == STORE_SCENARIOS + RECONFIG_SCENARIOS
         assert grid.params == (("num_keys", (4, 8)),)
-        assert len(grid.expand()) == 12
+        assert len(grid.expand()) == 14
 
     def test_serial_campaign_matches_cell_by_cell_execution(self):
         grid = SweepGrid(scenarios=("store_partition_across_shards",),
